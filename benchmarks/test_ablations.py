@@ -1,0 +1,275 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+These are not paper figures; they isolate the mechanisms behind them:
+
+* **source aggregation** — the paper's central DV optimisation
+  (batching PCIe transfers of packets bound for *different*
+  destinations): GUPS with it disabled;
+* **destination aggregation window** — the HPCC look-ahead limit that
+  throttles MPI GUPS: sweep the window;
+* **deflection routing cost** — cycle-accurate switch under load vs its
+  own zero-load minimum (the "statistically two hops" claim);
+* **fat-tree static-routing contention** — MPI kernels with the
+  collision model disabled (ideal crossbar).
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core import ClusterSpec, Table
+from repro.dv import CycleSwitch, DataVortexTopology
+from repro.kernels import run_fft1d, run_gups
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_source_aggregation(benchmark, results_dir):
+    """GUPS throughput with and without source aggregation."""
+    def run():
+        spec = ClusterSpec(n_nodes=16)
+        return {
+            agg: run_gups(spec, "dv", table_words=1 << 13,
+                          n_updates=1 << 12,
+                          aggregate=agg)["mups_per_pe"]
+            for agg in (True, False)
+        }
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    t = Table("Ablation: source aggregation (DV GUPS, 16 nodes)",
+              ["source aggregation", "MUPS per PE"])
+    t.add_row("on", res[True])
+    t.add_row("off (one PCIe DMA per destination)", res[False])
+    emit(t, results_dir, "ablation_source_aggregation")
+    # aggregation is what hides the PCIe latency: large effect
+    assert res[True] > 1.5 * res[False]
+    benchmark.extra_info["gain"] = res[True] / res[False]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_mpi_aggregation_window(benchmark, results_dir):
+    """MPI GUPS vs the HPCC look-ahead window (destination
+    aggregation): bigger windows amortise per-message overheads, which
+    is exactly why the benchmark rules cap the window at 1024."""
+    windows = (64, 256, 1024)
+
+    def run():
+        spec = ClusterSpec(n_nodes=8)
+        return {w: run_gups(spec, "mpi", table_words=1 << 13,
+                            n_updates=1 << 12,
+                            window=w)["mups_per_pe"]
+                for w in windows}
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    t = Table("Ablation: HPCC aggregation window (MPI GUPS, 8 nodes)",
+              ["window", "MUPS per PE"])
+    for w in windows:
+        t.add_row(w, res[w])
+    emit(t, results_dir, "ablation_mpi_window")
+    vals = [res[w] for w in windows]
+    assert vals == sorted(vals)          # monotone in window size
+    assert vals[-1] > 2 * vals[0]        # and strongly so
+    benchmark.extra_info["gain_64_to_1024"] = vals[-1] / vals[0]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_deflection_cost(benchmark, results_dir):
+    """Cycle-accurate switch: mean latency under random load vs the
+    zero-load minimum — the deflection cost the paper quotes as
+    'statistically two hops'."""
+    def run():
+        topo = DataVortexTopology(height=16, angles=2)
+        rng = random.Random(42)
+        plan = [(rng.randrange(32), rng.randrange(32))
+                for _ in range(4000)]
+        zero_load = sum(topo.min_hops(s, d) for s, d in plan) / len(plan)
+        sw = CycleSwitch(topo)
+        for s, d in plan:
+            sw.inject(s, d)
+        sw.run_until_drained(max_cycles=1_000_000)
+        return {
+            "zero_load_hops": zero_load,
+            "loaded_hops": sw.stats.mean_hops,
+            "mean_deflections": sw.stats.mean_deflections,
+        }
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    t = Table("Ablation: deflection-routing cost (cycle switch, "
+              "saturating random load)", ["metric", "hops"])
+    t.add_row("zero-load mean path", res["zero_load_hops"])
+    t.add_row("loaded mean path", res["loaded_hops"])
+    t.add_row("mean contention deflections", res["mean_deflections"])
+    emit(t, results_dir, "ablation_deflection")
+    # deflections exist under load but stay small — bufferless routing
+    # costs a handful of hops, not queueing collapse
+    assert res["loaded_hops"] > res["zero_load_hops"]
+    assert res["mean_deflections"] < 6.0
+    benchmark.extra_info.update(res)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_fattree_contention(benchmark, results_dir):
+    """MPI FFT with static-routing uplink contention on vs an ideal
+    non-blocking crossbar: how much of the IB degradation is the
+    topology's fault (paper ref [33])."""
+    def run():
+        out = {}
+        for contention in (True, False):
+            spec = ClusterSpec(n_nodes=32, ib_contention=contention)
+            out[contention] = run_fft1d(spec, "mpi",
+                                        log2_points=18)["gflops"]
+        return out
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    t = Table("Ablation: fat-tree static-routing contention "
+              "(MPI FFT, 32 nodes)", ["fabric", "GFLOPS"])
+    t.add_row("fat tree, static routing", res[True])
+    t.add_row("ideal crossbar", res[False])
+    emit(t, results_dir, "ablation_fattree")
+    assert res[False] > 1.1 * res[True]
+    benchmark.extra_info["contention_loss"] = 1 - res[True] / res[False]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_heat_decomposition(benchmark, results_dir):
+    """1-D slabs (two large faces) vs 3-D blocks (six small faces): the
+    many-small-messages decomposition is where the Data Vortex pulls
+    ahead — the message-size effect behind the paper's Heat result."""
+    from repro.apps import run_heat
+
+    def run():
+        spec = ClusterSpec(n_nodes=32)
+        out = {}
+        for decomp in ("1d", "3d"):
+            times = {f: run_heat(spec, f, n=64, steps=8,
+                                 decomp=decomp)["elapsed_s"]
+                     for f in ("mpi", "dv")}
+            out[decomp] = times["mpi"] / times["dv"]
+        return out
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    t = Table("Ablation: heat-equation decomposition (32 nodes, 64^3)",
+              ["decomposition", "DV speedup over MPI"])
+    t.add_row("1d slabs (2 large faces/step)", res["1d"])
+    t.add_row("3d blocks (6 small faces/step)", res["3d"])
+    emit(t, results_dir, "ablation_heat_decomp")
+    assert res["3d"] > res["1d"] > 1.0
+    benchmark.extra_info.update(res)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_seed_stability(benchmark, results_dir):
+    """Replicate the GUPS comparison across seeds: the DV/MPI ratio must
+    be a property of the system, not of one random workload."""
+    from repro.core.stats import replicate
+
+    def run():
+        def one(seed):
+            spec = ClusterSpec(n_nodes=8, seed=seed)
+            dv = run_gups(spec, "dv", table_words=1 << 12,
+                          n_updates=1 << 11)
+            ib = run_gups(spec, "mpi", table_words=1 << 12,
+                          n_updates=1 << 11)
+            return {"ratio": dv["mups_total"] / ib["mups_total"]}
+        return replicate(one, seeds=range(5))
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    summary = res["ratio"]
+    t = Table("Ablation: GUPS DV/MPI ratio across 5 workload seeds",
+              ["statistic", "value"])
+    t.add_row("mean", summary.mean)
+    t.add_row("std", summary.std)
+    t.add_row("ci95 half-width", summary.ci95)
+    t.add_row("min", summary.minimum)
+    t.add_row("max", summary.maximum)
+    emit(t, results_dir, "ablation_seed_stability")
+    assert summary.mean > 1.5           # DV advantage is robust
+    assert summary.rel_ci < 0.15        # and tightly concentrated
+    benchmark.extra_info["ratio_mean"] = summary.mean
+    benchmark.extra_info["ratio_ci95"] = summary.ci95
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_three_fabric_gups(benchmark, results_dir):
+    """GUPS across the full software/hardware stack triangle: MPI
+    (two-sided), verbs RDMA (one-sided, paper SS VIII's low-level IB
+    alternative), and the Data Vortex.  One-sided IB recovers part of
+    the gap at a steep programming-complexity cost; the DV's
+    fine-grained fabric keeps the rest."""
+    def run():
+        spec = ClusterSpec(n_nodes=16)
+        return {f: run_gups(spec, f, table_words=1 << 14,
+                            n_updates=1 << 14)["mups_per_pe"]
+                for f in ("mpi", "verbs", "dv")}
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    t = Table("Ablation: GUPS per PE across fabrics (16 nodes)",
+              ["fabric", "MUPS per PE"])
+    for f in ("mpi", "verbs", "dv"):
+        t.add_row(f, res[f])
+    emit(t, results_dir, "ablation_three_fabric_gups")
+    assert res["mpi"] < res["verbs"] < res["dv"]
+    benchmark.extra_info.update(res)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_snap_decomposition(benchmark, results_dir):
+    """SNAP 1-D slab pipeline vs the full KBA 2-D decomposition: KBA
+    doubles the message streams per rank (one per grid direction),
+    which widens the DV advantage — more fine-grained, latency-bound
+    traffic (the paper's 'large number of messages')."""
+    from repro.apps import run_snap, run_snap_kba
+
+    def run():
+        spec = ClusterSpec(n_nodes=16)
+        out = {}
+        t1 = {f: run_snap(spec, f, nx=12, ny_per_rank=4, nz=12,
+                          n_angles=16, chunk=4)["elapsed_s"]
+              for f in ("mpi", "dv")}
+        out["1d slab"] = t1["mpi"] / t1["dv"]
+        t2 = {f: run_snap_kba(spec, f, nx=12, ny=16, nz=16,
+                              n_angles=16, chunk=4)["elapsed_s"]
+              for f in ("mpi", "dv")}
+        out["2d KBA"] = t2["mpi"] / t2["dv"]
+        return out
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    t = Table("Ablation: SNAP decomposition (16 nodes)",
+              ["decomposition", "DV speedup over MPI"])
+    for k, v in res.items():
+        t.add_row(k, v)
+    emit(t, results_dir, "ablation_snap_decomp")
+    assert res["2d KBA"] > res["1d slab"] > 0.9
+    benchmark.extra_info.update(res)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_bfs_direction_optimisation(benchmark, results_dir):
+    """Top-down (the paper-era Graph500 reference) vs
+    direction-optimising BFS: the bottom-up levels replace the huge
+    mid-level pair exchange with one bitmap broadcast, which both
+    fabrics enjoy — and the DV enjoys more (its bitmap scatter is one
+    source-aggregated stream per peer)."""
+    from repro.kernels import run_bfs
+
+    def run():
+        spec = ClusterSpec(n_nodes=16)
+        out = {}
+        for strat in ("topdown", "diropt"):
+            for fab in ("mpi", "dv"):
+                r = run_bfs(spec, fab, scale=14, n_roots=2,
+                            strategy=strat)
+                out[(strat, fab)] = r["harmonic_teps"] / 1e6
+        return out
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    t = Table("Ablation: BFS direction optimisation "
+              "(16 nodes, scale 14, MTEPS)",
+              ["strategy", "mpi", "dv", "dv/mpi"])
+    for strat in ("topdown", "diropt"):
+        m, d = res[(strat, "mpi")], res[(strat, "dv")]
+        t.add_row(strat, m, d, d / m)
+    emit(t, results_dir, "ablation_bfs_diropt")
+    assert res[("diropt", "dv")] > res[("topdown", "dv")]
+    assert res[("diropt", "mpi")] > res[("topdown", "mpi")]
+    benchmark.extra_info["dv_diropt_mteps"] = res[("diropt", "dv")]

@@ -1,0 +1,71 @@
+"""Extension benchmark: fault tolerance of the Data Vortex fabric.
+
+The paper cites reliability analyses of the optical switch ([12], [13]:
+fault tolerance and terminal reliability of data vortex fabrics); this
+benchmark performs the equivalent study on the electronic topology we
+simulate — structural route redundancy, Monte-Carlo terminal
+reliability under random switching-node failures, and what the actual
+(oblivious) deflection routing delivers under the same failures.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core import Table
+from repro.dv.reliability import path_redundancy, reliability_curve
+from repro.dv.topology import DataVortexTopology
+
+
+@pytest.mark.benchmark(group="extension")
+def test_ext_reliability_curve(benchmark, results_dir):
+    def run():
+        topo = DataVortexTopology(height=16, angles=2)
+        return reliability_curve(
+            topo, p_fails=(0.0, 0.01, 0.02, 0.05, 0.10), trials=80)
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    t = Table("Extension: terminal reliability under random "
+              "switching-node failures (H=16, A=2)",
+              ["p(node fails)", "graph reliability",
+               "routed delivery"])
+    for p in points:
+        t.add_row(p.p_fail, p.graph_reliability, p.routed_delivery)
+    emit(t, results_dir, "ext_reliability")
+
+    graphs = [p.graph_reliability for p in points]
+    routed = [p.routed_delivery for p in points]
+    assert graphs[0] == routed[0] == 1.0
+    assert graphs == sorted(graphs, reverse=True)
+    # oblivious routing tracks the structural bound closely
+    for g, r in zip(graphs, routed):
+        assert r <= g + 0.08
+        assert r >= g - 0.20
+    benchmark.extra_info["graph_at_5pct"] = graphs[3]
+    benchmark.extra_info["routed_at_5pct"] = routed[3]
+
+
+@pytest.mark.benchmark(group="extension")
+def test_ext_route_redundancy_vs_ring_width(benchmark, results_dir):
+    """Structural finding: with two angles per ring the deflection path
+    is a two-cycle that retries the same descent — single points of
+    failure exist; wider rings open node-disjoint alternatives."""
+    def run():
+        out = {}
+        for a in (2, 4, 8):
+            topo = DataVortexTopology(height=8, angles=a)
+            reds = [path_redundancy(topo, s, d)
+                    for s in range(0, topo.ports, 5)
+                    for d in range(1, topo.ports, 7)]
+            out[a] = (sum(reds) / len(reds), max(reds))
+        return out
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    t = Table("Extension: interior route redundancy vs ring width "
+              "(H=8)", ["angles", "mean disjoint routes", "max"])
+    for a, (mean, mx) in res.items():
+        t.add_row(a, mean, mx)
+    emit(t, results_dir, "ext_redundancy")
+    assert res[2][1] == 1          # A=2: no redundancy anywhere
+    assert res[4][1] >= 2          # wider rings add disjoint routes
+    assert res[4][0] > res[2][0]
+    benchmark.extra_info["mean_redundancy_a4"] = res[4][0]

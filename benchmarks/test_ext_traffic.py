@@ -1,0 +1,47 @@
+"""Extension benchmark: synthetic traffic robustness of the switch.
+
+Reruns the study the paper's §II summarises from its refs [14]/[15]:
+"the architecture maintained robust throughput and latency performance
+even under nonuniform and bursty traffic conditions due to inherent
+traffic smoothing effects".
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core import Table
+from repro.dv.topology import DataVortexTopology
+from repro.dv.traffic import smoothing_study
+
+
+@pytest.mark.benchmark(group="extension")
+def test_ext_traffic_smoothing(benchmark, results_dir):
+    def run():
+        topo = DataVortexTopology(height=16, angles=2)
+        return smoothing_study(topo, offered_load=0.3, cycles=1500)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    t = Table("Extension: traffic robustness (32-port switch, offered "
+              "load 0.3/port/cycle)",
+              ["pattern", "tput smooth", "tput bursty", "lat smooth",
+               "lat bursty", "p99 bursty"])
+    for name, v in res.items():
+        t.add_row(name, v["smooth"].accepted_throughput,
+                  v["bursty"].accepted_throughput,
+                  v["smooth"].mean_latency, v["bursty"].mean_latency,
+                  v["bursty"].p99_latency)
+    emit(t, results_dir, "ext_traffic_smoothing")
+
+    for name, v in res.items():
+        if name == "hotspot":
+            continue   # ejection-limited by construction, both cases
+        # bursty arrivals cost little throughput or latency
+        assert (v["bursty"].accepted_throughput
+                > 0.85 * v["smooth"].accepted_throughput), name
+        assert (v["bursty"].mean_latency
+                < 1.5 * max(v["smooth"].mean_latency, 1)), name
+    # the hotspot saturates its single ejection port in both cases
+    hot = res["hotspot"]
+    assert hot["smooth"].accepted_throughput < 0.15
+    benchmark.extra_info["uniform_bursty_tput"] = res["uniform"][
+        "bursty"].accepted_throughput

@@ -1,0 +1,58 @@
+"""Fig. 4 — global-barrier latency at scale (paper §V).
+
+Three series over 2..32 nodes: the dvapi hardware barrier, the in-house
+all-to-all "Fast Barrier", and MPI_Barrier over InfiniBand.
+
+Shape assertions:
+
+* the DV barrier latency is nearly independent of node count;
+* the MPI barrier grows markedly, "especially when more than 8 nodes
+  are involved" (the fat-tree knee);
+* both DV variants are several times faster than MPI at 32 nodes.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core import ClusterSpec, Table
+from repro.kernels import run_barrier_bench
+
+NODES = (2, 4, 8, 16, 32)
+
+
+def _sweep():
+    out = {}
+    for n in NODES:
+        spec = ClusterSpec(n_nodes=n)
+        out[n] = {impl: run_barrier_bench(spec, impl, iters=16)
+                  for impl in ("dv", "dv_fast", "mpi")}
+    return out
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_barrier_latency(benchmark, results_dir):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    t = Table("Fig. 4: global barrier latency (us) vs nodes",
+              ["nodes", "DataVortex", "FastBarrier", "MPI/Infiniband"])
+    for n in NODES:
+        t.add_row(n, rows[n]["dv"]["latency_us"],
+                  rows[n]["dv_fast"]["latency_us"],
+                  rows[n]["mpi"]["latency_us"])
+    emit(t, results_dir, "fig4_barrier")
+
+    dv = {n: rows[n]["dv"]["latency_us"] for n in NODES}
+    mpi = {n: rows[n]["mpi"]["latency_us"] for n in NODES}
+    # DV barrier nearly flat 2 -> 32 nodes.
+    assert dv[32] < 2.0 * dv[2]
+    # MPI grows substantially and keeps growing past 8 nodes.
+    assert mpi[32] > 3.0 * mpi[2]
+    assert mpi[32] > 1.5 * mpi[8]
+    # At scale the DV barrier wins by a wide margin.
+    assert mpi[32] > 5.0 * dv[32]
+    # Monotone growth of the MPI series.
+    mpi_series = [mpi[n] for n in NODES]
+    assert mpi_series == sorted(mpi_series)
+
+    benchmark.extra_info["dv_us_at_32"] = dv[32]
+    benchmark.extra_info["mpi_us_at_32"] = mpi[32]

@@ -1,0 +1,68 @@
+"""Fig. 6 — GUPS at scale (paper §VI).
+
+Weak-scaled random updates with the HPCC 1024-update look-ahead window:
+
+* **Fig. 6a** — updates per second *per processing element*: ideally
+  flat; the paper shows the Data Vortex staying roughly constant while
+  MPI-over-InfiniBand decays steadily from 4 to 32 nodes;
+* **Fig. 6b** — aggregate MUPS: the DV curve grows steeply, the MPI
+  curve stalls, and the gap widens with node count.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core import ClusterSpec, Table
+from repro.kernels import run_gups
+
+NODES = (4, 8, 16, 32)
+TABLE_WORDS = 1 << 14
+UPDATES = 1 << 13
+
+
+def _sweep():
+    out = {}
+    for n in NODES:
+        spec = ClusterSpec(n_nodes=n)
+        out[n] = {
+            fab: run_gups(spec, fab, table_words=TABLE_WORDS,
+                          n_updates=UPDATES)
+            for fab in ("dv", "mpi")
+        }
+    return out
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_gups(benchmark, results_dir):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    t6a = Table("Fig. 6a: GUPS per processing element (MUPS) vs nodes",
+                ["nodes", "DataVortex", "Infiniband"])
+    t6b = Table("Fig. 6b: aggregate GUPS (MUPS) vs nodes",
+                ["nodes", "DataVortex", "Infiniband"])
+    for n in NODES:
+        t6a.add_row(n, rows[n]["dv"]["mups_per_pe"],
+                    rows[n]["mpi"]["mups_per_pe"])
+        t6b.add_row(n, rows[n]["dv"]["mups_total"],
+                    rows[n]["mpi"]["mups_total"])
+    emit(t6a, results_dir, "fig6a_gups_per_pe")
+    emit(t6b, results_dir, "fig6b_gups_total")
+
+    dv_pe = [rows[n]["dv"]["mups_per_pe"] for n in NODES]
+    ib_pe = [rows[n]["mpi"]["mups_per_pe"] for n in NODES]
+    # DV per-PE rate roughly constant (within ~25% across 4..32 nodes).
+    assert min(dv_pe) > 0.75 * max(dv_pe)
+    # MPI per-PE rate decays substantially 4 -> 32.
+    assert ib_pe[-1] < 0.5 * ib_pe[0]
+    # DV wins everywhere and the aggregate gap widens with node count.
+    gaps = [rows[n]["dv"]["mups_total"] / rows[n]["mpi"]["mups_total"]
+            for n in NODES]
+    assert all(g > 1 for g in gaps)
+    assert gaps[-1] > 1.5 * gaps[0]
+    # DV aggregate keeps scaling.
+    dv_tot = [rows[n]["dv"]["mups_total"] for n in NODES]
+    assert dv_tot == sorted(dv_tot)
+
+    benchmark.extra_info["dv_mups_per_pe_at_32"] = dv_pe[-1]
+    benchmark.extra_info["ib_mups_per_pe_at_32"] = ib_pe[-1]
+    benchmark.extra_info["aggregate_gap_at_32"] = gaps[-1]

@@ -1,0 +1,52 @@
+"""Fig. 7 — distributed 1-D FFT aggregate GFLOPS (paper §VI).
+
+The paper ran a 2^33-point FFT; the simulation uses a scaled 2^18-point
+transform with the identical four-step structure and communication
+volume per point.  Expected shape: the Data Vortex implementation beats
+MPI-over-InfiniBand at every node count and, as with GUPS, "the
+performance gap increases with the increasing numbers of nodes".
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core import ClusterSpec, Table
+from repro.kernels import run_fft1d
+
+NODES = (2, 4, 8, 16, 32)
+LOG2_POINTS = 18
+
+
+def _sweep():
+    out = {}
+    for n in NODES:
+        spec = ClusterSpec(n_nodes=n)
+        out[n] = {fab: run_fft1d(spec, fab, log2_points=LOG2_POINTS)
+                  for fab in ("dv", "mpi")}
+    return out
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_fft(benchmark, results_dir):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    t = Table("Fig. 7: FFT-1D aggregate GFLOPS vs nodes "
+              f"(2^{LOG2_POINTS} points)",
+              ["nodes", "DataVortex", "Infiniband"])
+    for n in NODES:
+        t.add_row(n, rows[n]["dv"]["gflops"], rows[n]["mpi"]["gflops"])
+    emit(t, results_dir, "fig7_fft")
+
+    ratios = [rows[n]["dv"]["gflops"] / rows[n]["mpi"]["gflops"]
+              for n in NODES]
+    # DV wins at every node count ...
+    assert all(r > 1 for r in ratios)
+    # ... and the gap widens with scale.
+    assert ratios[-1] > 2 * ratios[0]
+    # DV aggregate GFLOPS scale with node count.
+    dv = [rows[n]["dv"]["gflops"] for n in NODES]
+    assert dv == sorted(dv)
+    assert dv[-1] > 5 * dv[0]
+
+    benchmark.extra_info["dv_gflops_at_32"] = dv[-1]
+    benchmark.extra_info["ratio_at_32"] = ratios[-1]

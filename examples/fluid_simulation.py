@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""The Kelvin–Helmholtz instability on the simulated cluster.
+
+Runs the paper's Vorticity application (§VII) — a pseudo-spectral solver
+for 2-D inviscid incompressible flow — long enough for the perturbed
+double shear layer to start rolling up, on both fabrics, and prints the
+conserved-quantity drift plus an ASCII rendering of the vorticity field.
+
+Run with::
+
+    python examples/fluid_simulation.py
+"""
+
+import numpy as np
+
+from repro import ClusterSpec
+from repro.apps.vorticity import (initial_vorticity_hat, invariants,
+                                  run_vorticity, step_serial)
+
+
+def ascii_field(omega: np.ndarray, width: int = 64, height: int = 24
+                ) -> str:
+    """Coarse ASCII rendering of a scalar field."""
+    n = omega.shape[0]
+    ys = (np.arange(height) * n) // height
+    xs = (np.arange(width) * n) // width
+    sub = omega[np.ix_(xs, ys)].T
+    lo, hi = sub.min(), sub.max()
+    glyphs = " .:-=+*#%@"
+    span = max(hi - lo, 1e-30)
+    rows = []
+    for row in sub:
+        idx = ((row - lo) / span * (len(glyphs) - 1)).astype(int)
+        rows.append("".join(glyphs[i] for i in idx))
+    return "\n".join(rows)
+
+
+def main():
+    n, steps, dt = 64, 8, 2e-3
+    spec = ClusterSpec(n_nodes=8)
+
+    print(f"2-D inviscid flow, {n}x{n} spectral grid, {steps} RK2 steps "
+          f"on {spec.n_nodes} nodes\n")
+    times = {}
+    for fabric in ("mpi", "dv"):
+        r = run_vorticity(spec, fabric, n=n, dt=dt, steps=steps,
+                          validate=True)
+        times[fabric] = r["elapsed_s"]
+        assert r["valid"], f"{fabric} diverged from the serial reference"
+        print(f"  {fabric:>3}: {r['elapsed_s'] * 1e3:7.3f} ms simulated, "
+              f"energy drift {r['energy_drift']:.2e}, "
+              f"enstrophy drift {r['enstrophy_drift']:.2e}")
+    print(f"\nData Vortex speedup: {times['mpi'] / times['dv']:.2f}x "
+          f"(paper Fig. 9: 2.46x-3.41x for the restructured solvers)\n")
+
+    # evolve further (serially) to show the instability developing
+    w_hat = initial_vorticity_hat(n)
+    e0, z0 = invariants(w_hat)
+    for _ in range(150):
+        w_hat = step_serial(w_hat, dt)
+    e1, z1 = invariants(w_hat)
+    omega = np.real(np.fft.ifft2(w_hat))
+    print("vorticity after 150 steps (double shear layer rolling up):")
+    print(ascii_field(omega))
+    print(f"\nenergy conserved to {abs(e1 - e0) / e0:.2e}, "
+          f"enstrophy to {abs(z1 - z0) / z0:.2e} over the long run")
+
+
+if __name__ == "__main__":
+    main()

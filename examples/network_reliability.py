@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Characterising the Data Vortex fabric: robustness and fault tolerance.
+
+Two studies the paper points at but does not run itself (§II cites the
+optical-switch literature for both):
+
+1. **traffic smoothing** — throughput and latency across classic
+   adversarial patterns, with smooth and bursty arrivals;
+2. **fault tolerance** — inject random switching-node failures into the
+   cycle-accurate switch and watch the deflection routing route around
+   them; compare against the graph-theoretic survival bound.
+
+Run with::
+
+    python examples/network_reliability.py
+"""
+
+from repro.dv.reliability import (path_redundancy, reliability_curve)
+from repro.dv.topology import DataVortexTopology
+from repro.dv.traffic import smoothing_study
+
+
+def traffic():
+    print("=== 1. traffic robustness (32-port switch, offered load "
+          "0.3/port/cycle) ===")
+    topo = DataVortexTopology(height=16, angles=2)
+    res = smoothing_study(topo, offered_load=0.3, cycles=1200)
+    print(f"{'pattern':>14} {'tput':>7} {'tput(bursty)':>13} "
+          f"{'lat':>6} {'lat(bursty)':>12}")
+    for name, v in res.items():
+        s, b = v["smooth"], v["bursty"]
+        print(f"{name:>14} {s.accepted_throughput:>7.3f} "
+              f"{b.accepted_throughput:>13.3f} "
+              f"{s.mean_latency:>6.1f} {b.mean_latency:>12.1f}")
+    print("-> bursty arrivals barely move anything (the 'traffic "
+          "smoothing' the paper cites);")
+    print("   only the hotspot collapses, and that is the single "
+          "ejection port's physics, not congestion\n")
+
+
+def faults():
+    print("=== 2. fault tolerance (random switching-node failures) ===")
+    topo = DataVortexTopology(height=16, angles=2)
+    pts = reliability_curve(topo, p_fails=(0.0, 0.02, 0.05, 0.10),
+                            trials=60)
+    print(f"{'p(fail)':>8} {'graph bound':>12} {'routed':>8}")
+    for p in pts:
+        print(f"{p.p_fail:>8.2f} {p.graph_reliability:>12.3f} "
+              f"{p.routed_delivery:>8.3f}")
+    print("-> the oblivious deflection routing tracks the structural "
+          "survival bound closely\n")
+
+    print("=== 3. route redundancy vs ring width ===")
+    for a in (2, 4, 8):
+        t = DataVortexTopology(height=8, angles=a)
+        reds = [path_redundancy(t, s, d)
+                for s in range(0, t.ports, 5)
+                for d in range(1, t.ports, 7)]
+        print(f"   A={a}: node-disjoint legal routes "
+              f"mean={sum(reds) / len(reds):.2f} max={max(reds)}")
+    print("-> with A=2 a deflection is a two-cycle that retries the "
+          "same descent edge, so single\n   points of failure exist; "
+          "wider rings buy genuine path diversity")
+
+
+def main():
+    traffic()
+    faults()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Porting an irregular application to the Data Vortex, step by step.
+
+Reproduces the paper's central programming lesson (§IV–§VI): "a simple
+replacement of MPI primitives with Data Vortex APIs does not generally
+yield satisfactory results" — the win comes from restructuring around
+*source aggregation* and the fine-grained network.
+
+The running example is the GUPS random-update loop.  Three versions run
+on the same 16-node simulated cluster:
+
+1. the MPI reference (destination-aggregated alltoallv windows);
+2. a naive DV port: one PCIe transaction per destination per window;
+3. the restructured DV version: each window crosses PCIe as a single
+   source-aggregated DMA and fans out inside the switch.
+
+Run with::
+
+    python examples/porting_gups.py
+"""
+
+from repro import ClusterSpec
+from repro.kernels import run_gups
+
+NODES = 16
+TABLE_WORDS = 1 << 13
+UPDATES = 1 << 12
+
+
+def main():
+    spec = ClusterSpec(n_nodes=NODES)
+    print(f"GUPS on {NODES} simulated nodes "
+          f"({TABLE_WORDS} table words/node, {UPDATES} updates/node, "
+          f"1024-update HPCC window)\n")
+
+    mpi = run_gups(spec, "mpi", table_words=TABLE_WORDS,
+                   n_updates=UPDATES, validate=True)
+    print(f"1. MPI reference               : "
+          f"{mpi['mups_per_pe']:7.2f} MUPS/PE   (valid={mpi['valid']})")
+
+    naive = run_gups(spec, "dv", table_words=TABLE_WORDS,
+                     n_updates=UPDATES, aggregate=False, validate=True)
+    print(f"2. naive DV port (per-dest DMA): "
+          f"{naive['mups_per_pe']:7.2f} MUPS/PE   "
+          f"(valid={naive['valid']})")
+
+    tuned = run_gups(spec, "dv", table_words=TABLE_WORDS,
+                     n_updates=UPDATES, aggregate=True, validate=True)
+    print(f"3. DV + source aggregation     : "
+          f"{tuned['mups_per_pe']:7.2f} MUPS/PE   "
+          f"(valid={tuned['valid']})")
+
+    print(f"\nsource aggregation gain : "
+          f"{tuned['mups_per_pe'] / naive['mups_per_pe']:.2f}x over the "
+          f"naive port")
+    print(f"final speedup over MPI  : "
+          f"{tuned['mups_per_pe'] / mpi['mups_per_pe']:.2f}x")
+    print("\nlesson (paper SS V): the Data Vortex rewards batching the "
+          "*PCIe* side while keeping\nnetwork packets fine-grained — "
+          "aggregation by source, which is easy, instead of\n"
+          "aggregation by destination, which GUPS makes impossible.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Neutron-transport sweeps: the SNAP proxy, visualised.
+
+Runs the paper's SNAP application proxy (§VII) on the simulated cluster
+and shows why a "best-effort" Data Vortex port gains little: the sweep
+is a *pipelined wavefront* — each rank works on angle-chunk c while its
+downstream neighbour works on chunk c-1 — so communication is
+predictable and largely hidden, which is exactly the traffic
+conventional fabrics already handle well.
+
+Run with::
+
+    python examples/transport_sweep.py
+"""
+
+from repro import ClusterSpec, run_spmd
+from repro.apps.snap import run_snap
+from repro.apps import snap as snap_mod
+
+
+def wavefront_timeline():
+    """Trace the MPI sweep on 4 ranks and render the pipeline."""
+    spec = ClusterSpec(n_nodes=4, trace=True)
+
+    def program(ctx):
+        import numpy as np
+        rng = np.random.default_rng(0)
+        source = rng.random((4, 8, 8))
+        quad = snap_mod.angle_quadrature(16)
+        out = yield from snap_mod._snap_mpi(ctx, source, quad, 1.0,
+                                            0.1, chunk=4)
+        return out["elapsed"]
+
+    res = run_spmd(spec, program, "mpi")
+    print("pipelined wavefront (compute spans march down the ranks):")
+    print(res.tracer.render_timeline(width=88))
+    print()
+
+
+def compare_fabrics():
+    spec = ClusterSpec(n_nodes=16)
+    kw = dict(nx=12, ny_per_rank=4, nz=12, n_angles=32, chunk=4)
+    times = {}
+    for fabric in ("mpi", "dv"):
+        r = run_snap(spec, fabric, validate=True, **kw)
+        assert r["valid"], "sweep diverged from the serial reference"
+        times[fabric] = r["elapsed_s"]
+        rate = r["cell_angle_sweeps_per_s"]
+        print(f"  {fabric:>3}: {r['elapsed_s'] * 1e3:7.3f} ms "
+              f"({rate / 1e6:7.1f} M cell-angle sweeps/s), "
+              f"scalar flux validated")
+    speedup = times["mpi"] / times["dv"]
+    print(f"\nbest-effort DV port speedup: {speedup:.2f}x "
+          f"(paper Fig. 9: 1.19x)")
+    print("lesson (SS VII): when communication is already regular and "
+          "pipelined,\nswapping the fabric buys little — restructuring "
+          "is where the paper's big wins come from")
+
+
+def main():
+    print(f"SNAP transport-sweep proxy on the simulated cluster\n")
+    wavefront_timeline()
+    compare_fabrics()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""repro — reproduction of *Exploring DataVortex Systems for Irregular
+Applications* (Gioiosa et al., IPDPS workshops 2017).
+
+The package simulates the paper's dual-fabric 32-node cluster — every
+node carries both a Data Vortex VIC and an FDR InfiniBand HCA — and
+reimplements the full benchmark suite on both networks:
+
+>>> from repro import ClusterSpec, run_spmd
+>>> spec = ClusterSpec(n_nodes=8)
+>>> def hello(ctx):
+...     yield from ctx.barrier()
+...     return f"rank {ctx.rank} of {ctx.size} on {ctx.fabric}"
+>>> run_spmd(spec, hello, "dv").values[0]
+'rank 0 of 8 on dv'
+
+Layers (bottom to top):
+
+* :mod:`repro.sim` — deterministic discrete-event engine;
+* :mod:`repro.dv` — Data Vortex switch (cycle-accurate + flow-level),
+  VIC, and the dvapi programming model;
+* :mod:`repro.ib` — InfiniBand fat-tree fabric and an MPI layer;
+* :mod:`repro.core` — cluster model, SPMD runner, metrics, tracing;
+* :mod:`repro.kernels` — ping-pong, barrier, GUPS, FFT-1D, Graph500 BFS;
+* :mod:`repro.apps` — SNAP sweep proxy, spectral vorticity, 3-D heat.
+
+``benchmarks/`` regenerates every figure of the paper's evaluation;
+``examples/`` shows the public API on realistic scenarios.
+"""
+
+from repro.core.cluster import ClusterSpec, RunResult, run_both, run_spmd
+from repro.core.context import RankContext
+from repro.core.node import NodeModel
+from repro.dv.config import DVConfig
+from repro.ib.config import IBConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterSpec",
+    "DVConfig",
+    "IBConfig",
+    "NodeModel",
+    "RankContext",
+    "RunResult",
+    "run_both",
+    "run_spmd",
+    "__version__",
+]

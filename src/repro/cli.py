@@ -1,0 +1,230 @@
+"""Command-line interface: regenerate any paper figure from a shell.
+
+Usage::
+
+    python -m repro.cli fig4 --nodes 2,4,8,16,32
+    python -m repro.cli fig6 --nodes 4,8
+    python -m repro.cli fig9
+    python -m repro.cli chase --nodes 8 --hops 256
+    python -m repro.cli list
+
+Each subcommand prints the figure's data as an aligned table (the same
+rendering the benchmark harness emits).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.core.cluster import ClusterSpec
+from repro.core.report import Table
+
+
+def _nodes_list(text: str) -> List[int]:
+    return [int(x) for x in text.split(",") if x]
+
+
+def cmd_fig3(args) -> Table:
+    from repro.kernels import PINGPONG_MODES, run_pingpong
+    spec = ClusterSpec(n_nodes=2, seed=args.seed)
+    sizes = [1 << k for k in range(0, args.max_log2_words + 1)]
+    t = Table("Fig. 3a: ping-pong bandwidth (GB/s)",
+              ["words", *PINGPONG_MODES])
+    for n in sizes:
+        t.add_row(n, *(run_pingpong(spec, m, n,
+                                    iters=args.iters)["bandwidth_gbs"]
+                       for m in PINGPONG_MODES))
+    return t
+
+
+def cmd_fig4(args) -> Table:
+    from repro.kernels import run_barrier_bench
+    t = Table("Fig. 4: barrier latency (us)",
+              ["nodes", "dv", "dv_fast", "mpi"])
+    for n in args.nodes:
+        spec = ClusterSpec(n_nodes=n, seed=args.seed)
+        t.add_row(n, *(run_barrier_bench(spec, impl,
+                                         iters=args.iters)["latency_us"]
+                       for impl in ("dv", "dv_fast", "mpi")))
+    return t
+
+
+def cmd_fig5(args) -> Table:
+    from repro.kernels import run_gups
+    spec = ClusterSpec(n_nodes=min(args.nodes), trace=True,
+                       seed=args.seed)
+    r = run_gups(spec, "mpi", table_words=1 << 12, n_updates=1 << 12)
+    print(r["tracer"].render_timeline(width=96))
+    runs = r["tracer"].destination_runs()
+    t = Table("Fig. 5: destination regularity", ["metric", "value"])
+    t.add_row("messages", len(r["tracer"].messages))
+    t.add_row("single-destination runs",
+              sum(1 for x in runs if x == 1) / max(len(runs), 1))
+    return t
+
+
+def cmd_fig6(args) -> Table:
+    from repro.kernels import run_gups
+    t = Table("Fig. 6: GUPS (MUPS)",
+              ["nodes", "dv/PE", "mpi/PE", "dv total", "mpi total"])
+    for n in args.nodes:
+        spec = ClusterSpec(n_nodes=n, seed=args.seed)
+        dv = run_gups(spec, "dv", table_words=1 << 14,
+                      n_updates=1 << 13)
+        ib = run_gups(spec, "mpi", table_words=1 << 14,
+                      n_updates=1 << 13)
+        t.add_row(n, dv["mups_per_pe"], ib["mups_per_pe"],
+                  dv["mups_total"], ib["mups_total"])
+    return t
+
+
+def cmd_fig7(args) -> Table:
+    from repro.kernels import run_fft1d
+    t = Table(f"Fig. 7: FFT-1D aggregate GFLOPS (2^{args.log2_points})",
+              ["nodes", "dv", "mpi"])
+    for n in args.nodes:
+        spec = ClusterSpec(n_nodes=n, seed=args.seed)
+        t.add_row(n,
+                  run_fft1d(spec, "dv",
+                            log2_points=args.log2_points)["gflops"],
+                  run_fft1d(spec, "mpi",
+                            log2_points=args.log2_points)["gflops"])
+    return t
+
+
+def cmd_fig8(args) -> Table:
+    import math
+    from repro.kernels import run_bfs
+    t = Table("Fig. 8: Graph500 harmonic-mean MTEPS",
+              ["nodes", "scale", "dv", "mpi"])
+    for n in args.nodes:
+        scale = args.scale + int(math.log2(n))
+        spec = ClusterSpec(n_nodes=n, seed=args.seed)
+        t.add_row(n, scale,
+                  run_bfs(spec, "dv", scale=scale,
+                          n_roots=args.roots)["harmonic_teps"] / 1e6,
+                  run_bfs(spec, "mpi", scale=scale,
+                          n_roots=args.roots)["harmonic_teps"] / 1e6)
+    return t
+
+
+def cmd_fig9(args) -> Table:
+    from repro.apps import run_heat, run_snap, run_vorticity
+    spec = ClusterSpec(n_nodes=max(args.nodes), seed=args.seed)
+    t = Table(f"Fig. 9: DV speedup over MPI ({spec.n_nodes} nodes)",
+              ["application", "speedup"])
+    for name, fn, kw in (
+        ("SNAP", run_snap,
+         dict(nx=16, ny_per_rank=4, nz=16, n_angles=32, chunk=4)),
+        ("Vorticity", run_vorticity, dict(n=256, steps=2)),
+        ("Heat", run_heat, dict(n=48, steps=10)),
+    ):
+        times = {f: fn(spec, f, **kw)["elapsed_s"]
+                 for f in ("mpi", "dv")}
+        t.add_row(name, times["mpi"] / times["dv"])
+    return t
+
+
+def cmd_chase(args) -> Table:
+    from repro.dv.remote import pointer_chase
+    spec = ClusterSpec(n_nodes=max(args.nodes), seed=args.seed)
+    t = Table(f"Pointer chase ({spec.n_nodes} nodes, {args.hops} hops)",
+              ["fabric", "us/hop"])
+    for fabric in ("dv", "verbs", "mpi"):
+        r = pointer_chase(spec, fabric, hops=args.hops)
+        t.add_row(fabric, r["latency_per_hop_us"])
+    return t
+
+
+def cmd_spmv(args) -> Table:
+    from repro.kernels import run_spmv
+    t = Table("SpMV power iteration (GFLOP/s)",
+              ["nodes", "dv", "mpi"])
+    for n in args.nodes:
+        spec = ClusterSpec(n_nodes=n, seed=args.seed)
+        t.add_row(n,
+                  run_spmv(spec, "dv", scale=args.scale,
+                           iters=5)["gflops"],
+                  run_spmv(spec, "mpi", scale=args.scale,
+                           iters=5)["gflops"])
+    return t
+
+
+def cmd_scaling(args) -> Table:
+    from repro.core.scaling import switch_scaling
+    points = switch_scaling()
+    t = Table("SS IX scale-up study (cycle-accurate switch)",
+              ["ports", "cylinders", "mean hops", "pkts/cycle/port"])
+    for p in points:
+        t.add_row(p.ports, p.cylinders, p.mean_hops,
+                  p.throughput_per_port)
+    return t
+
+
+COMMANDS = {
+    "fig3": cmd_fig3,
+    "fig4": cmd_fig4,
+    "fig5": cmd_fig5,
+    "fig6": cmd_fig6,
+    "fig7": cmd_fig7,
+    "fig8": cmd_fig8,
+    "fig9": cmd_fig9,
+    "chase": cmd_chase,
+    "spmv": cmd_spmv,
+    "scaling": cmd_scaling,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate figures from 'Exploring DataVortex "
+                    "Systems for Irregular Applications'")
+    p.add_argument("command", choices=[*COMMANDS, "list"],
+                   help="figure to regenerate (or 'list')")
+    p.add_argument("--nodes", type=_nodes_list, default=[4, 8, 16, 32],
+                   help="comma-separated node counts (default 4,8,16,32)")
+    p.add_argument("--seed", type=int, default=2017)
+    p.add_argument("--iters", type=int, default=8,
+                   help="iterations for micro-benchmarks")
+    p.add_argument("--max-log2-words", type=int, default=18,
+                   help="fig3: largest message (log2 words)")
+    p.add_argument("--log2-points", type=int, default=18,
+                   help="fig7: FFT size (log2 points)")
+    p.add_argument("--scale", type=int, default=11,
+                   help="fig8: base graph scale")
+    p.add_argument("--roots", type=int, default=3,
+                   help="fig8: BFS roots")
+    p.add_argument("--hops", type=int, default=256,
+                   help="chase: pointer-chase length")
+    p.add_argument("--csv", action="store_true",
+                   help="emit CSV instead of an aligned table")
+    p.add_argument("--plot", action="store_true",
+                   help="also render an ASCII chart of the table")
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in COMMANDS:
+            print(name)
+        return 0
+    table = COMMANDS[args.command](args)
+    print(table.to_csv() if args.csv else table.render())
+    if args.plot:
+        from repro.core.asciiplot import plot_table
+        x_col = table.columns[0]
+        try:
+            print()
+            print(plot_table(table, x_col,
+                             logx=x_col in ("words", "nodes")))
+        except (TypeError, ValueError) as err:
+            print(f"(not plottable: {err})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

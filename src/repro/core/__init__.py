@@ -1,0 +1,35 @@
+"""Core evaluation framework: cluster model, SPMD runner, metrics.
+
+This package is the paper's "primary contribution" layer: the apparatus
+for running one algorithm on both fabrics of the same cluster and
+comparing them.  A :class:`ClusterSpec` describes the 32-node testbed
+(§IV); :func:`run_spmd` executes a rank program against either network;
+:mod:`repro.core.metrics` computes the units the figures report (GB/s,
+MUPS, GFLOPS, GTEPS, speedup); :mod:`repro.core.trace` records the
+per-rank execution traces behind Fig. 5.
+"""
+
+from repro.core.node import NodeModel
+from repro.core.cluster import ClusterSpec, RunResult, run_spmd
+from repro.core.context import RankContext
+from repro.core.trace import Tracer, Span
+from repro.core.metrics import (bandwidth_gbs, gflops_fft1d, gups,
+                                harmonic_mean, speedup, teps)
+from repro.core.report import Table
+
+__all__ = [
+    "ClusterSpec",
+    "NodeModel",
+    "RankContext",
+    "RunResult",
+    "Span",
+    "Table",
+    "Tracer",
+    "bandwidth_gbs",
+    "gflops_fft1d",
+    "gups",
+    "harmonic_mean",
+    "run_spmd",
+    "speedup",
+    "teps",
+]

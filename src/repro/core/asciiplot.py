@@ -1,0 +1,126 @@
+"""Terminal line plots for the CLI and examples.
+
+Minimal, dependency-free rendering of multi-series data as an ASCII
+chart — enough to eyeball the shape of a figure without leaving the
+terminal.  Supports linear or log-2 x axes (most paper figures sweep
+powers of two) and a legend.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+_GLYPHS = "ox+*#@%&"
+
+
+def _scale(v: float, lo: float, hi: float, size: int) -> int:
+    if hi <= lo:
+        return 0
+    t = (v - lo) / (hi - lo)
+    return min(size - 1, max(0, int(round(t * (size - 1)))))
+
+
+def line_plot(x: Sequence[float],
+              series: Dict[str, Sequence[float]],
+              width: int = 72, height: int = 18,
+              title: str = "", xlabel: str = "", ylabel: str = "",
+              logx: bool = False, logy: bool = False) -> str:
+    """Render one or more y-series over a shared x axis.
+
+    Parameters
+    ----------
+    x:
+        Shared x values (monotonically increasing).
+    series:
+        Mapping of label -> y values (same length as ``x``).
+    logx / logy:
+        Plot against log2(x) / log10(y) instead of raw values.
+    """
+    xs = list(x)
+    if not xs:
+        raise ValueError("empty x axis")
+    for label, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {label!r} length mismatch")
+    if not series:
+        raise ValueError("need at least one series")
+    if logx and any(v <= 0 for v in xs):
+        raise ValueError("logx requires positive x values")
+
+    fx = [math.log2(v) if logx else float(v) for v in xs]
+    all_y = [v for ys in series.values() for v in ys]
+    if logy:
+        if any(v <= 0 for v in all_y):
+            raise ValueError("logy requires positive y values")
+        conv = math.log10
+    else:
+        conv = float
+    fy = {lbl: [conv(v) for v in ys] for lbl, ys in series.items()}
+    ylo = min(v for ys in fy.values() for v in ys)
+    yhi = max(v for ys in fy.values() for v in ys)
+    xlo, xhi = min(fx), max(fx)
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (lbl, ys) in enumerate(fy.items()):
+        glyph = _GLYPHS[si % len(_GLYPHS)]
+        pts = [(_scale(a, xlo, xhi, width),
+                _scale(b, ylo, yhi, height)) for a, b in zip(fx, ys)]
+        # connect consecutive points with interpolated marks
+        for (c0, r0), (c1, r1) in zip(pts, pts[1:]):
+            steps = max(abs(c1 - c0), abs(r1 - r0), 1)
+            for k in range(steps + 1):
+                c = c0 + (c1 - c0) * k // steps
+                r = r0 + (r1 - r0) * k // steps
+                if grid[height - 1 - r][c] == " ":
+                    grid[height - 1 - r][c] = "."
+        for c, r in pts:
+            grid[height - 1 - r][c] = glyph
+
+    def fmt(v: float) -> str:
+        if logy:
+            v = 10 ** v
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 0.01:
+            return f"{v:.2g}"
+        return f"{v:.3g}"
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    ytop, ybot = fmt(yhi), fmt(ylo)
+    pad = max(len(ytop), len(ybot))
+    for i, row in enumerate(grid):
+        label = ytop if i == 0 else (ybot if i == height - 1 else "")
+        lines.append(f"{label:>{pad}} |" + "".join(row))
+    x0 = f"{xs[0]:g}"
+    x1 = f"{xs[-1]:g}"
+    axis = f"{'':>{pad}} +" + "-" * width
+    lines.append(axis)
+    gap = max(width - len(x0) - len(x1), 1)
+    lines.append(f"{'':>{pad}}  {x0}{' ' * gap}{x1}"
+                 + (f"   ({xlabel}{', log2' if logx else ''})"
+                    if xlabel or logx else ""))
+    legend = "   ".join(f"{_GLYPHS[i % len(_GLYPHS)]}={lbl}"
+                        for i, lbl in enumerate(series))
+    lines.append(f"{'':>{pad}}  {legend}"
+                 + (f"   [{ylabel}{', log y' if logy else ''}]"
+                    if ylabel or logy else ""))
+    return "\n".join(lines)
+
+
+def plot_table(table, x_col: str, y_cols: Optional[List[str]] = None,
+               **kwargs) -> str:
+    """Plot columns of a :class:`repro.core.report.Table`."""
+    x = [float(v) for v in table.column(x_col)]
+    y_cols = y_cols or [c for c in table.columns if c != x_col]
+    series = {}
+    for c in y_cols:
+        try:
+            series[c] = [float(v) for v in table.column(c)]
+        except (TypeError, ValueError):
+            continue  # non-numeric column
+    kwargs.setdefault("xlabel", x_col)
+    kwargs.setdefault("title", table.title)
+    return line_plot(x, series, **kwargs)

@@ -1,0 +1,140 @@
+"""Cluster specification and the SPMD runner.
+
+:class:`ClusterSpec` captures the testbed of paper §IV — a cluster whose
+every node has *both* a Data Vortex VIC and an FDR InfiniBand HCA — and
+:func:`run_spmd` executes one program on one fabric, building a fresh
+engine and fresh device state per run (runs never share state, as on the
+real machine where each benchmark invocation starts cold).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.core.context import RankContext
+from repro.core.node import NodeModel
+from repro.core.trace import Tracer
+from repro.dv.api import DataVortexAPI
+from repro.dv.barrier import FastBarrier, HardwareBarrier
+from repro.dv.config import DVConfig
+from repro.dv.flow import FlowNetwork
+from repro.dv.vic import VIC
+from repro.ib.config import IBConfig
+from repro.ib.mpi import MPIRuntime
+from repro.sim.engine import Engine
+
+#: A rank program: generator function taking a RankContext.
+Program = Callable[[RankContext], Generator]
+
+
+@dataclass
+class ClusterSpec:
+    """Description of the dual-fabric cluster."""
+
+    n_nodes: int = 32
+    dv: DVConfig = field(default_factory=DVConfig)
+    ib: IBConfig = field(default_factory=IBConfig)
+    node: NodeModel = field(default_factory=NodeModel)
+    seed: int = 2017
+    trace: bool = False
+    #: toggle the fat-tree static-routing contention model (ablation)
+    ib_contention: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+
+    @staticmethod
+    def paper_testbed(**overrides) -> "ClusterSpec":
+        """The 32-node system of §IV."""
+        return ClusterSpec(n_nodes=32, **overrides)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one :func:`run_spmd` invocation."""
+
+    values: List[Any]           #: per-rank program return values
+    elapsed: float              #: simulated seconds until the last rank exits
+    tracer: Tracer
+    engine: Engine
+    fabric: str
+    #: network-level statistics object (FlowStats or FabricStats)
+    net_stats: Any = None
+
+    def value(self, rank: int = 0) -> Any:
+        return self.values[rank]
+
+    @property
+    def max_value(self) -> Any:
+        return max(self.values)
+
+
+def run_spmd(spec: ClusterSpec, program: Program, fabric: str = "dv",
+             max_events: Optional[int] = None) -> RunResult:
+    """Run ``program`` once on every rank over the chosen fabric.
+
+    Parameters
+    ----------
+    spec:
+        The cluster to build.
+    program:
+        Generator function ``program(ctx)``.
+    fabric:
+        ``"dv"`` (Data Vortex) or ``"mpi"`` (MPI over InfiniBand).
+    max_events:
+        Optional runaway guard forwarded to the engine.
+    """
+    if fabric not in ("dv", "mpi"):
+        raise ValueError(f'fabric must be "dv" or "mpi", got {fabric!r}')
+    engine = Engine()
+    tracer = Tracer(enabled=spec.trace)
+    n = spec.n_nodes
+
+    contexts: List[RankContext] = []
+    net_stats: Any = None
+    if fabric == "dv":
+        network = FlowNetwork(engine, spec.dv, n)
+        vics = [VIC(engine, spec.dv, i, network) for i in range(n)]
+        apis = [DataVortexAPI(engine, spec.dv, v, network) for v in vics]
+        hw_barrier = HardwareBarrier(engine, spec.dv, vics, network)
+        fast_barrier = FastBarrier(engine, spec.dv, vics, network)
+        for api in apis:
+            api.hw_barrier = hw_barrier
+            api.fast_barrier_impl = fast_barrier
+        for r in range(n):
+            contexts.append(RankContext(engine, r, n, spec.node, tracer,
+                                        spec.seed, dv=apis[r]))
+        net_stats = network.stats
+    else:
+        runtime = MPIRuntime(engine, spec.ib, n,
+                             contention=spec.ib_contention)
+        for r in range(n):
+            contexts.append(RankContext(engine, r, n, spec.node, tracer,
+                                        spec.seed, mpi=runtime.endpoint(r)))
+        net_stats = runtime.fabric.stats
+
+    procs = [engine.process(program(ctx), name=f"rank{ctx.rank}")
+             for ctx in contexts]
+    engine.run(max_events=max_events)
+
+    failures = []
+    for p in procs:
+        if not p.triggered:
+            raise RuntimeError(
+                f"deadlock: {p.name} never finished (fabric={fabric})")
+        if not p.ok:
+            failures.append(p)
+    if failures:
+        raise failures[0].value
+
+    return RunResult(values=[p.value for p in procs], elapsed=engine.now,
+                     tracer=tracer, engine=engine, fabric=fabric,
+                     net_stats=net_stats)
+
+
+def run_both(spec: ClusterSpec, program: Program) -> dict:
+    """Convenience: run on both fabrics, return ``{"dv": ..., "mpi": ...}``."""
+    return {"dv": run_spmd(spec, program, "dv"),
+            "mpi": run_spmd(spec, program, "mpi")}

@@ -1,0 +1,94 @@
+"""Per-rank execution context handed to SPMD programs.
+
+A program is a generator function ``program(ctx)``; inside it, ``ctx``
+gives access to:
+
+* ``ctx.rank`` / ``ctx.size`` — SPMD identity;
+* ``ctx.net`` — the selected network API (:class:`DataVortexAPI` or
+  :class:`MPIEndpoint`), with ``ctx.dv`` / ``ctx.mpi`` set when the
+  respective fabric was selected;
+* ``ctx.compute(...)`` — charge host time from operation counts;
+* ``ctx.timed(kind, gen)`` — drive a sub-generator while tracing it;
+* ``ctx.rng`` — a deterministic per-rank random generator;
+* ``ctx.barrier()`` — fabric-appropriate global barrier.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+import numpy as np
+
+from repro.core.node import NodeModel
+from repro.core.trace import Tracer
+from repro.sim.engine import Engine
+from repro.sim.rng import rng_for
+
+
+class RankContext:
+    """Everything one rank's program can touch."""
+
+    def __init__(self, engine: Engine, rank: int, size: int,
+                 node: NodeModel, tracer: Tracer, seed: int,
+                 dv=None, mpi=None) -> None:
+        self.engine = engine
+        self.rank = rank
+        self.size = size
+        self.node = node
+        self.tracer = tracer
+        self.dv = dv
+        self.mpi = mpi
+        self.net = dv if dv is not None else mpi
+        self.rng: np.random.Generator = rng_for(seed, "rank", rank)
+        self._marks: dict = {}
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds)."""
+        return self.engine.now
+
+    @property
+    def fabric(self) -> str:
+        """Which network this run uses: ``"dv"`` or ``"mpi"``."""
+        return "dv" if self.dv is not None else "mpi"
+
+    # -- compute charging ---------------------------------------------------
+    def compute(self, *, flops: float = 0.0, random_updates: int = 0,
+                stream_bytes: float = 0.0, seconds: float = 0.0,
+                dispatches: int = 0, label: str = "") -> Generator:
+        """Charge host compute time and trace it as a compute span."""
+        dt = self.node.time(flops=flops, random_updates=random_updates,
+                            stream_bytes=stream_bytes, seconds=seconds,
+                            dispatches=dispatches)
+        t0 = self.engine.now
+        if dt > 0:
+            yield self.engine.timeout(dt)
+        self.tracer.span(self.rank, t0, self.engine.now, "compute", label)
+
+    def timed(self, kind: str, gen: Generator, label: str = "") -> Generator:
+        """Run a sub-generator (e.g. an API call) under a traced span."""
+        t0 = self.engine.now
+        result = yield from gen
+        self.tracer.span(self.rank, t0, self.engine.now, kind, label)
+        return result
+
+    def sleep(self, seconds: float) -> Generator:
+        """Raw idle wait (not traced as compute)."""
+        yield self.engine.timeout(seconds)
+
+    # -- timing marks ------------------------------------------------------
+    def mark(self, name: str) -> None:
+        """Record the current time under ``name`` (per-rank stopwatch)."""
+        self._marks[name] = self.engine.now
+
+    def since(self, name: str) -> float:
+        """Seconds elapsed since :meth:`mark` recorded ``name``."""
+        return self.engine.now - self._marks[name]
+
+    # -- fabric-neutral conveniences ----------------------------------------
+    def barrier(self) -> Generator:
+        """Global barrier on whichever fabric this run uses."""
+        if self.dv is not None:
+            yield from self.dv.barrier()
+        else:
+            yield from self.mpi.barrier()

@@ -1,0 +1,210 @@
+"""Registry of the paper's experiments: the per-experiment index as code.
+
+Every table/figure of the evaluation section is described by an
+:class:`Experiment` carrying its identifier, the workload parameters the
+harness uses, which modules implement the pieces, and a runner that
+regenerates the data.  DESIGN.md's experiment index, EXPERIMENTS.md and
+the CLI all derive from this single source of truth.
+
+>>> from repro.core.experiments import REGISTRY
+>>> sorted(REGISTRY)[:3]
+['fig3a', 'fig3b', 'fig4']
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.cluster import ClusterSpec
+from repro.core.report import Table
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One paper artifact (figure or table) and how to regenerate it."""
+
+    exp_id: str                 #: e.g. "fig6a"
+    title: str                  #: what the paper plots
+    workload: str               #: workload + parameters (scaled)
+    modules: tuple              #: implementing modules
+    bench: str                  #: benchmark file that regenerates it
+    paper_expectation: str      #: the shape the paper reports
+    runner: Optional[Callable[..., Table]] = field(default=None,
+                                                   compare=False)
+
+
+def _run_fig3(seed: int = 2017, sizes=None) -> Table:
+    from repro.kernels import PINGPONG_MODES, run_pingpong
+    spec = ClusterSpec(n_nodes=2, seed=seed)
+    sizes = sizes or [1 << k for k in range(0, 19, 3)]
+    t = Table("fig3: ping-pong bandwidth (GB/s)",
+              ["words", *PINGPONG_MODES])
+    for n in sizes:
+        t.add_row(n, *(run_pingpong(spec, m, n, iters=4)["bandwidth_gbs"]
+                       for m in PINGPONG_MODES))
+    return t
+
+
+def _run_fig4(seed: int = 2017, nodes=(2, 4, 8, 16, 32)) -> Table:
+    from repro.kernels import run_barrier_bench
+    t = Table("fig4: barrier latency (us)",
+              ["nodes", "dv", "dv_fast", "mpi"])
+    for n in nodes:
+        spec = ClusterSpec(n_nodes=n, seed=seed)
+        t.add_row(n, *(run_barrier_bench(spec, i, iters=8)["latency_us"]
+                       for i in ("dv", "dv_fast", "mpi")))
+    return t
+
+
+def _run_fig6(seed: int = 2017, nodes=(4, 8, 16, 32)) -> Table:
+    from repro.kernels import run_gups
+    t = Table("fig6: GUPS (MUPS)",
+              ["nodes", "dv_per_pe", "mpi_per_pe", "dv_total",
+               "mpi_total"])
+    for n in nodes:
+        spec = ClusterSpec(n_nodes=n, seed=seed)
+        dv = run_gups(spec, "dv", table_words=1 << 14, n_updates=1 << 13)
+        ib = run_gups(spec, "mpi", table_words=1 << 14,
+                      n_updates=1 << 13)
+        t.add_row(n, dv["mups_per_pe"], ib["mups_per_pe"],
+                  dv["mups_total"], ib["mups_total"])
+    return t
+
+
+def _run_fig7(seed: int = 2017, nodes=(2, 4, 8, 16, 32)) -> Table:
+    from repro.kernels import run_fft1d
+    t = Table("fig7: FFT-1D aggregate GFLOPS", ["nodes", "dv", "mpi"])
+    for n in nodes:
+        spec = ClusterSpec(n_nodes=n, seed=seed)
+        t.add_row(n, run_fft1d(spec, "dv", log2_points=18)["gflops"],
+                  run_fft1d(spec, "mpi", log2_points=18)["gflops"])
+    return t
+
+
+def _run_fig8(seed: int = 2017, nodes=(2, 4, 8, 16, 32)) -> Table:
+    from repro.kernels import run_bfs
+    t = Table("fig8: Graph500 MTEPS", ["nodes", "scale", "dv", "mpi"])
+    for n in nodes:
+        spec = ClusterSpec(n_nodes=n, seed=seed)
+        scale = 11 + int(math.log2(n))
+        t.add_row(
+            n, scale,
+            run_bfs(spec, "dv", scale=scale,
+                    n_roots=3)["harmonic_teps"] / 1e6,
+            run_bfs(spec, "mpi", scale=scale,
+                    n_roots=3)["harmonic_teps"] / 1e6)
+    return t
+
+
+def _run_fig9(seed: int = 2017, n_nodes: int = 32) -> Table:
+    from repro.apps import run_heat, run_snap, run_vorticity
+    spec = ClusterSpec(n_nodes=n_nodes, seed=seed)
+    t = Table("fig9: DV speedup over MPI", ["application", "speedup"])
+    for name, fn, kw in (
+        ("SNAP", run_snap,
+         dict(nx=16, ny_per_rank=4, nz=16, n_angles=32, chunk=4)),
+        ("Vorticity", run_vorticity, dict(n=256, steps=2)),
+        ("Heat", run_heat, dict(n=48, steps=10)),
+    ):
+        times = {f: fn(spec, f, **kw)["elapsed_s"] for f in ("mpi", "dv")}
+        t.add_row(name, times["mpi"] / times["dv"])
+    return t
+
+
+REGISTRY: Dict[str, Experiment] = {
+    e.exp_id: e for e in [
+        Experiment(
+            "fig3a", "ping-pong bandwidth vs message size",
+            "1..256Ki 8-byte words; modes DWr/NoCached, DWr/Cached, "
+            "DMA/Cached, MPI; 2 nodes",
+            ("repro.kernels.pingpong", "repro.dv.api", "repro.ib.mpi"),
+            "benchmarks/test_fig3_pingpong.py",
+            "MPI higher at 32-128 words and >512 words; DV DMA/Cached "
+            "reaches ~99% of its 4.4 GB/s peak at 256Ki words",
+            _run_fig3),
+        Experiment(
+            "fig3b", "ping-pong bandwidth as % of nominal peak",
+            "same sweep; peaks 4.4 GB/s (DV) and 6.8 GB/s (IB)",
+            ("repro.kernels.pingpong", "repro.core.metrics"),
+            "benchmarks/test_fig3_pingpong.py",
+            "DV ~99% of peak vs MPI ~72% at 256Ki words",
+            _run_fig3),
+        Experiment(
+            "fig4", "global barrier latency at scale",
+            "2..32 nodes; DV intrinsic, Fast Barrier, MPI_Barrier",
+            ("repro.kernels.barrier_bench", "repro.dv.barrier",
+             "repro.ib.collectives"),
+            "benchmarks/test_fig4_barrier.py",
+            "DV flat (<1us); MPI grows steeply past 8 nodes to >10us",
+            _run_fig4),
+        Experiment(
+            "fig5", "GUPS execution trace (Extrae-style)",
+            "MPI GUPS, 4 nodes, traced",
+            ("repro.core.trace", "repro.kernels.gups"),
+            "benchmarks/test_fig5_trace.py",
+            "no destination regularity to aggregate",
+            None),
+        Experiment(
+            "fig6a", "GUPS per processing element",
+            "weak scaling, 2^14 table words/node, 1024-update window, "
+            "4..32 nodes",
+            ("repro.kernels.gups",),
+            "benchmarks/test_fig6_gups.py",
+            "DV roughly flat; MPI decays steadily",
+            _run_fig6),
+        Experiment(
+            "fig6b", "aggregate GUPS",
+            "same sweep",
+            ("repro.kernels.gups",),
+            "benchmarks/test_fig6_gups.py",
+            "DV aggregate scales; gap over MPI widens with nodes",
+            _run_fig6),
+        Experiment(
+            "fig7", "FFT-1D aggregate GFLOPS",
+            "2^18 points (paper: 2^33), four-step algorithm, 2..32 nodes",
+            ("repro.kernels.fft1d",),
+            "benchmarks/test_fig7_fft.py",
+            "DV above MPI at every node count; gap widens",
+            _run_fig7),
+        Experiment(
+            "fig8", "Graph500 harmonic-mean TEPS",
+            "Kronecker scale 11+log2(P), edgefactor 16, 3 roots "
+            "(paper: 64)",
+            ("repro.kernels.bfs", "repro.kernels.kronecker"),
+            "benchmarks/test_fig8_bfs.py",
+            "DV above MPI with widening gap",
+            _run_fig8),
+        Experiment(
+            "fig9", "application speedup DV vs MPI",
+            "SNAP (best-effort port), Vorticity + Heat (restructured), "
+            "32 nodes",
+            ("repro.apps.snap", "repro.apps.vorticity",
+             "repro.apps.heat"),
+            "benchmarks/test_fig9_apps.py",
+            "SNAP ~1.19x; restructured apps 2.46x-3.41x",
+            _run_fig9),
+    ]
+}
+
+
+def run_experiment(exp_id: str, **kwargs) -> Table:
+    """Regenerate one experiment's data by id."""
+    exp = REGISTRY.get(exp_id)
+    if exp is None:
+        raise KeyError(f"unknown experiment {exp_id!r}; "
+                       f"known: {sorted(REGISTRY)}")
+    if exp.runner is None:
+        raise ValueError(f"{exp_id} has no table runner "
+                         f"(see {exp.bench})")
+    return exp.runner(**kwargs)
+
+
+def index_table() -> Table:
+    """The DESIGN.md experiment index as a renderable table."""
+    t = Table("Experiment index", ["id", "artifact", "bench"])
+    for exp_id in sorted(REGISTRY):
+        e = REGISTRY[exp_id]
+        t.add_row(e.exp_id, e.title, e.bench)
+    return t

@@ -1,0 +1,91 @@
+"""Units and statistics used by the paper's figures.
+
+Each helper corresponds to an axis in the evaluation section:
+
+* Fig. 3 — bandwidth in GB/s and percent of nominal peak;
+* Fig. 4 — barrier latency (µs);
+* Fig. 6 — updates/s (GUPS benchmark reports MUPS per PE and aggregate);
+* Fig. 7 — aggregate GFLOPS for the 1-D FFT (the HPCC operation count);
+* Fig. 8 — traversed edges per second, harmonic-mean over search roots
+  (the Graph500 rule);
+* Fig. 9 — speedup of Data Vortex over MPI-over-InfiniBand.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def bandwidth_gbs(nbytes: float, seconds: float) -> float:
+    """Payload bandwidth in GB/s (decimal GB, as the paper plots)."""
+    if seconds <= 0:
+        raise ValueError("non-positive duration")
+    return nbytes / seconds / 1e9
+
+
+def percent_of_peak(bw_bytes_per_s: float, peak_bytes_per_s: float) -> float:
+    """Bandwidth as a percentage of nominal peak (Fig. 3b)."""
+    if peak_bytes_per_s <= 0:
+        raise ValueError("non-positive peak")
+    return 100.0 * bw_bytes_per_s / peak_bytes_per_s
+
+
+def gups(n_updates: int, seconds: float) -> float:
+    """Giga-updates per second."""
+    if seconds <= 0:
+        raise ValueError("non-positive duration")
+    return n_updates / seconds / 1e9
+
+
+def mups(n_updates: int, seconds: float) -> float:
+    """Mega-updates per second (the unit on Fig. 6's axis)."""
+    return gups(n_updates, seconds) * 1e3
+
+
+def fft1d_flops(n_points: int) -> float:
+    """HPCC operation count for a complex 1-D FFT: ``5 N log2 N``."""
+    if n_points < 2:
+        raise ValueError("FFT needs at least 2 points")
+    return 5.0 * n_points * math.log2(n_points)
+
+
+def gflops_fft1d(n_points: int, seconds: float) -> float:
+    """Aggregate GFLOPS of a distributed 1-D FFT (Fig. 7's axis)."""
+    if seconds <= 0:
+        raise ValueError("non-positive duration")
+    return fft1d_flops(n_points) / seconds / 1e9
+
+
+def teps(n_edges_traversed: int, seconds: float) -> float:
+    """Traversed edges per second for one BFS root."""
+    if seconds <= 0:
+        raise ValueError("non-positive duration")
+    return n_edges_traversed / seconds
+
+
+def harmonic_mean(values: Sequence[float]) -> float:
+    """Harmonic mean (the Graph500 aggregation across search roots)."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("harmonic mean requires positive values")
+    return len(vals) / sum(1.0 / v for v in vals)
+
+
+def speedup(baseline_seconds: float, candidate_seconds: float) -> float:
+    """Execution-time speedup of candidate over baseline (Fig. 9)."""
+    if baseline_seconds <= 0 or candidate_seconds <= 0:
+        raise ValueError("non-positive duration")
+    return baseline_seconds / candidate_seconds
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (summary statistic for speedup collections)."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

@@ -1,0 +1,59 @@
+"""Host compute-node cost model.
+
+The testbed node (§IV): dual Intel E5-2623v3 (2 sockets x 4 cores x 2
+threads, 3.0 GHz Haswell-EP), 160 GB across two NUMA domains.  Since
+every benchmark in the paper is communication-dominated and the *same*
+host code runs on both fabrics, compute costs only need to be consistent,
+not cycle-exact: we charge time from operation counts with sustained-rate
+constants typical of this CPU generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class NodeModel:
+    """Sustained-rate cost model of one cluster node."""
+
+    #: Sustained double-precision FLOP rate of the whole node (8 cores
+    #: with FMA at 3 GHz peak ~192 GF; sustained on FFT-like kernels is
+    #: far lower).
+    flops_per_s: float = 40e9
+    #: Random 8-byte read-modify-write updates per second against the
+    #: 160 GB working set (DRAM latency bound; both NUMA domains).
+    random_updates_per_s: float = 120e6
+    #: Streaming memory bandwidth (bytes/s, dual-socket DDR4).
+    stream_bw: float = 60e9
+    #: Fixed per-software-iteration overhead (loop dispatch etc.).
+    dispatch_s: float = 0.05e-6
+
+    def time_flops(self, flops: float) -> float:
+        """Seconds to execute ``flops`` floating-point operations."""
+        if flops < 0:
+            raise ValueError("negative flops")
+        return flops / self.flops_per_s
+
+    def time_random_updates(self, n: int) -> float:
+        """Seconds for ``n`` random-access read-modify-writes."""
+        if n < 0:
+            raise ValueError("negative update count")
+        return n / self.random_updates_per_s
+
+    def time_stream(self, nbytes: float) -> float:
+        """Seconds to stream ``nbytes`` through memory."""
+        if nbytes < 0:
+            raise ValueError("negative byte count")
+        return nbytes / self.stream_bw
+
+    def time(self, *, flops: float = 0.0, random_updates: int = 0,
+             stream_bytes: float = 0.0, seconds: float = 0.0,
+             dispatches: int = 0) -> float:
+        """Combined cost of one compute region (components are additive:
+        the kernels these model do not overlap FP and memory phases)."""
+        return (self.time_flops(flops)
+                + self.time_random_updates(random_updates)
+                + self.time_stream(stream_bytes)
+                + dispatches * self.dispatch_s
+                + seconds)

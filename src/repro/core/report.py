@@ -1,0 +1,67 @@
+"""Plain-text table/series rendering for the benchmark harness.
+
+Every figure-regeneration benchmark prints its data through
+:class:`Table`, so running ``pytest benchmarks/ --benchmark-only -s``
+reproduces the paper's figures as aligned text series that can be
+diffed, plotted, or pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+class Table:
+    """Aligned text table with a title (one per figure)."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        if not columns:
+            raise ValueError("need at least one column")
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[Any]] = []
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has "
+                f"{len(self.columns)} columns")
+        self.rows.append(list(values))
+
+    @staticmethod
+    def _fmt(v: Any) -> str:
+        if isinstance(v, float):
+            if v == 0:
+                return "0"
+            if abs(v) >= 1000 or abs(v) < 0.01:
+                return f"{v:.3g}"
+            return f"{v:.3f}"
+        return str(v)
+
+    def render(self) -> str:
+        cells = [[self._fmt(v) for v in row] for row in self.rows]
+        widths = [max(len(c), *(len(r[i]) for r in cells)) if cells
+                  else len(c)
+                  for i, c in enumerate(self.columns)]
+        sep = "-+-".join("-" * w for w in widths)
+        head = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines = [f"== {self.title} ==", head, sep]
+        for row in cells:
+            lines.append(" | ".join(c.rjust(w) for c, w in
+                                    zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+    def column(self, name: str) -> List[Any]:
+        """Extract one column's values (for assertions in benchmarks)."""
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    def to_csv(self) -> str:
+        """CSV text (header + rows)."""
+        out = [",".join(self.columns)]
+        for row in self.rows:
+            out.append(",".join(self._fmt(v) for v in row))
+        return "\n".join(out)

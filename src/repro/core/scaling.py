@@ -1,0 +1,127 @@
+"""Scale-up study — the validation the paper's §IX leaves as future work.
+
+The paper argues that Data Vortex network properties should be preserved
+when scaling up: "Each doubling of nodes would add an additional
+'cylinder' to the Data Vortex Switch ... Those additional hops through
+the switch structure would (minimally) increase latency but should not
+change overall throughput per node.  Developing and validating such a
+simulation is beyond the scope of this paper."
+
+This module develops exactly that simulation, at two levels:
+
+* :func:`switch_scaling` — cycle-accurate switches from 16 to 256+
+  ports under saturating uniform-random load: measures mean latency
+  (expected: + ~1 hop per doubling) and per-port drain throughput
+  (expected: flat);
+* :func:`cluster_scaling` — flow-level clusters beyond the paper's 32
+  nodes running the barrier and GUPS kernels, checking that the flat
+  barrier and per-PE GUPS curves extend.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.cluster import ClusterSpec
+from repro.dv.fastswitch import FastCycleSwitch
+from repro.dv.topology import DataVortexTopology
+
+
+@dataclass
+class SwitchScalePoint:
+    """One switch size in the cycle-accurate scaling study."""
+
+    ports: int
+    cylinders: int
+    mean_latency_cycles: float
+    mean_hops: float
+    mean_deflections: float
+    throughput_per_port: float    #: packets/cycle/port sustained
+    drain_cycles: int
+
+
+def switch_scaling(heights: Sequence[int] = (8, 16, 32, 64, 128),
+                   angles: int = 2, per_port: int = 64,
+                   seed: int = 7) -> List[SwitchScalePoint]:
+    """Cycle-accurate study of the switch across sizes.
+
+    Every port injects ``per_port`` packets at uniformly random
+    destinations; the switch runs until drained.
+    """
+    rng = random.Random(seed)
+    out = []
+    for h in heights:
+        topo = DataVortexTopology(height=h, angles=angles)
+        sw = FastCycleSwitch(topo)
+        for src in range(topo.ports):
+            for _ in range(per_port):
+                sw.inject(src, rng.randrange(topo.ports))
+        sw.run_until_drained(max_cycles=10_000_000)
+        total = per_port * topo.ports
+        out.append(SwitchScalePoint(
+            ports=topo.ports,
+            cylinders=topo.cylinders,
+            mean_latency_cycles=sw.stats.mean_latency_cycles,
+            mean_hops=sw.stats.mean_hops,
+            mean_deflections=sw.stats.mean_deflections,
+            throughput_per_port=total / sw.cycle / topo.ports,
+            drain_cycles=sw.cycle,
+        ))
+    return out
+
+
+def verify_scaling_claim(points: List[SwitchScalePoint],
+                         latency_slack_hops: float = 4.0,
+                         throughput_tolerance: float = 0.35) -> Dict:
+    """Check §IX's prediction against the measurements.
+
+    * latency grows by roughly one hop per doubling (within slack);
+    * per-port throughput varies by less than ``throughput_tolerance``
+      across all sizes.
+
+    Returns a summary dict; raises AssertionError when the claim fails.
+    """
+    for a, b in zip(points, points[1:]):
+        grew = b.mean_hops - a.mean_hops
+        added_cylinders = b.cylinders - a.cylinders
+        if not (0 < grew <= added_cylinders + latency_slack_hops):
+            raise AssertionError(
+                f"latency growth {grew:.2f} hops from {a.ports} to "
+                f"{b.ports} ports outside expectations")
+    rates = [p.throughput_per_port for p in points]
+    spread = (max(rates) - min(rates)) / max(rates)
+    if spread > throughput_tolerance:
+        raise AssertionError(
+            f"per-port throughput varies {spread:.0%} across sizes — "
+            f"the flat-throughput claim fails")
+    return {
+        "hops_per_doubling": [
+            b.mean_hops - a.mean_hops for a, b in zip(points, points[1:])],
+        "throughput_spread": spread,
+    }
+
+
+def cluster_scaling(node_counts: Sequence[int] = (8, 16, 32, 64, 128),
+                    seed: int = 2017) -> Dict[int, Dict[str, float]]:
+    """Flow-level extrapolation beyond the paper's 32 nodes.
+
+    For each cluster size, measures the DV hardware-barrier latency and
+    the DV GUPS per-PE rate (weak scaling).  The §IX claim extends the
+    paper's Fig. 4 and Fig. 6a flatness to larger machines.
+    """
+    from repro.kernels.barrier_bench import run_barrier_bench
+    from repro.kernels.gups import run_gups
+
+    out: Dict[int, Dict[str, float]] = {}
+    for n in node_counts:
+        spec = ClusterSpec(n_nodes=n, seed=seed)
+        barrier = run_barrier_bench(spec, "dv", iters=8)
+        gups = run_gups(spec, "dv", table_words=1 << 12,
+                        n_updates=1 << 11)
+        out[n] = {
+            "barrier_us": barrier["latency_us"],
+            "gups_mups_per_pe": gups["mups_per_pe"],
+        }
+    return out

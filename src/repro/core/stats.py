@@ -1,0 +1,70 @@
+"""Multi-seed replication statistics for simulation experiments.
+
+A single simulation run is deterministic; statistical confidence comes
+from replication over seeds (different workloads, placements, graphs).
+:func:`replicate` runs an experiment across seeds and returns a
+:class:`Summary` with mean, standard deviation and a normal-approximation
+95% confidence interval — the numbers a paper table should carry.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Replication summary of one scalar metric."""
+
+    n: int
+    mean: float
+    std: float
+    ci95: float          #: half-width of the 95% confidence interval
+    minimum: float
+    maximum: float
+
+    @property
+    def rel_ci(self) -> float:
+        """CI half-width relative to the mean (0 when mean is 0)."""
+        return self.ci95 / abs(self.mean) if self.mean else 0.0
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} +/- {self.ci95:.2g} (n={self.n})"
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summary statistics of a sample."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("empty sample")
+    n = len(vals)
+    mean = sum(vals) / n
+    if n > 1:
+        var = sum((v - mean) ** 2 for v in vals) / (n - 1)
+        std = math.sqrt(var)
+        ci95 = 1.96 * std / math.sqrt(n)
+    else:
+        std = ci95 = 0.0
+    return Summary(n=n, mean=mean, std=std, ci95=ci95,
+                   minimum=min(vals), maximum=max(vals))
+
+
+def replicate(runner: Callable[[int], Mapping[str, float]],
+              seeds: Sequence[int]) -> Dict[str, Summary]:
+    """Run ``runner(seed)`` for every seed; summarise each numeric field.
+
+    Non-numeric result fields are ignored.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    samples: Dict[str, List[float]] = {}
+    for seed in seeds:
+        result = runner(int(seed))
+        for key, value in result.items():
+            if isinstance(value, bool) or not isinstance(
+                    value, (int, float)):
+                continue
+            samples.setdefault(key, []).append(float(value))
+    return {k: summarize(v) for k, v in samples.items()}

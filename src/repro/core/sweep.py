@@ -1,0 +1,63 @@
+"""Parameter-sweep helper for experiments.
+
+A tiny declarative layer used by the CLI (and available to users) to run
+a benchmark function over a grid of parameters and collect rows into a
+:class:`~repro.core.report.Table`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Sequence
+
+from repro.core.report import Table
+
+
+@dataclass
+class Sweep:
+    """A cartesian parameter sweep over a runner function.
+
+    Parameters
+    ----------
+    runner:
+        Called as ``runner(**params)``; must return a mapping of result
+        fields.
+    axes:
+        Ordered mapping of parameter name -> list of values.
+    fixed:
+        Extra keyword arguments passed to every invocation.
+    """
+
+    runner: Callable[..., Mapping[str, Any]]
+    axes: Dict[str, Sequence[Any]]
+    fixed: Dict[str, Any] = field(default_factory=dict)
+
+    def points(self) -> List[Dict[str, Any]]:
+        """All parameter combinations, in axis order."""
+        names = list(self.axes)
+        out = []
+        for combo in itertools.product(*(self.axes[n] for n in names)):
+            params = dict(zip(names, combo))
+            params.update(self.fixed)
+            out.append(params)
+        return out
+
+    def run(self) -> List[Dict[str, Any]]:
+        """Execute every point; returns param+result dicts."""
+        rows = []
+        for params in self.points():
+            result = dict(self.runner(**params))
+            row = {k: v for k, v in params.items()
+                   if k in self.axes}
+            row.update(result)
+            rows.append(row)
+        return rows
+
+    def table(self, title: str, columns: Sequence[str]) -> Table:
+        """Run the sweep and render the chosen columns."""
+        rows = self.run()
+        t = Table(title, columns)
+        for row in rows:
+            t.add_row(*(row.get(c, "") for c in columns))
+        return t

@@ -1,0 +1,180 @@
+"""Execution tracing (the apparatus behind the paper's Fig. 5).
+
+The paper traced its MPI GUPS run with Extrae and showed per-rank
+timelines of computation (blue), MPI calls (other colours) and messages
+(yellow lines).  :class:`Tracer` records the same information —
+``Span(rank, t0, t1, kind)`` regions and point-to-point message arrows —
+and can render an ASCII timeline good enough to exhibit the paper's
+qualitative point: GUPS communication has no destination regularity to
+exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Span:
+    """A traced activity region on one rank's timeline."""
+
+    rank: int
+    t0: float
+    t1: float
+    kind: str           # e.g. "compute", "mpi", "dv", "barrier"
+    label: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+
+@dataclass(frozen=True)
+class MessageArrow:
+    """A point-to-point message for the timeline's arrow overlay."""
+
+    src: int
+    dst: int
+    t: float
+    nbytes: int = 0
+
+
+class Tracer:
+    """Accumulates spans and message arrows during a run."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.spans: List[Span] = []
+        self.messages: List[MessageArrow] = []
+
+    def span(self, rank: int, t0: float, t1: float, kind: str,
+             label: str = "") -> None:
+        if not self.enabled:
+            return
+        if t1 < t0:
+            raise ValueError("span ends before it starts")
+        self.spans.append(Span(rank, t0, t1, kind, label))
+
+    def message(self, src: int, dst: int, t: float, nbytes: int = 0) -> None:
+        if not self.enabled:
+            return
+        self.messages.append(MessageArrow(src, dst, t, nbytes))
+
+    # -- analysis ----------------------------------------------------------
+    def time_by_kind(self, rank: Optional[int] = None) -> Dict[str, float]:
+        """Total traced seconds per activity kind (optionally one rank)."""
+        out: Dict[str, float] = {}
+        for s in self.spans:
+            if rank is not None and s.rank != rank:
+                continue
+            out[s.kind] = out.get(s.kind, 0.0) + s.duration
+        return out
+
+    def destination_runs(self) -> List[int]:
+        """Lengths of runs of consecutive messages (in time order, per
+        source) to the same destination.
+
+        This is the quantitative version of the paper's Fig. 5b argument:
+        if most runs have length 1, there is "no exploitable regularity
+        for aggregating messages directed to the same destination".
+        """
+        by_src: Dict[int, List[MessageArrow]] = {}
+        for m in sorted(self.messages, key=lambda m: (m.src, m.t)):
+            by_src.setdefault(m.src, []).append(m)
+        runs: List[int] = []
+        for msgs in by_src.values():
+            run = 1
+            for prev, cur in zip(msgs, msgs[1:]):
+                if cur.dst == prev.dst:
+                    run += 1
+                else:
+                    runs.append(run)
+                    run = 1
+            runs.append(run)
+        return runs
+
+    # -- rendering ------------------------------------------------------------
+    def render_timeline(self, width: int = 100,
+                        t0: Optional[float] = None,
+                        t1: Optional[float] = None,
+                        kinds: Optional[Dict[str, str]] = None) -> str:
+        """ASCII per-rank timeline (one row per rank).
+
+        ``kinds`` maps span kind -> single display character; defaults to
+        '#' for compute and distinct letters for everything else.
+        """
+        if not self.spans:
+            return "(no spans recorded)"
+        lo = min(s.t0 for s in self.spans) if t0 is None else t0
+        hi = max(s.t1 for s in self.spans) if t1 is None else t1
+        if hi <= lo:
+            hi = lo + 1e-12
+        ranks = sorted({s.rank for s in self.spans})
+        charmap = kinds or {}
+        auto = iter("abcdefghijklmnopqrstuvwxyz")
+        rows = []
+        for r in ranks:
+            row = [" "] * width
+            for s in self.spans:
+                if s.rank != r or s.t1 < lo or s.t0 > hi:
+                    continue
+                if s.kind not in charmap:
+                    charmap[s.kind] = "#" if s.kind == "compute" else \
+                        next(auto)
+                c = charmap[s.kind]
+                i0 = int((max(s.t0, lo) - lo) / (hi - lo) * (width - 1))
+                i1 = int((min(s.t1, hi) - lo) / (hi - lo) * (width - 1))
+                for i in range(i0, i1 + 1):
+                    row[i] = c
+            rows.append(f"rank {r:>3} |" + "".join(row) + "|")
+        legend = "  ".join(f"{c}={k}" for k, c in sorted(charmap.items(),
+                                                         key=lambda kv: kv[1]))
+        header = (f"timeline {lo * 1e6:.1f}us .. {hi * 1e6:.1f}us   "
+                  f"({legend})")
+        return "\n".join([header] + rows)
+
+    def to_rows(self) -> List[Tuple]:
+        """Spans as plain tuples (for CSV export in the harness)."""
+        return [(s.rank, s.t0, s.t1, s.kind, s.label) for s in self.spans]
+
+    def spans_csv(self) -> str:
+        """Spans as CSV text (Paraver-style flat export)."""
+        lines = ["rank,t0,t1,kind,label"]
+        for s in sorted(self.spans, key=lambda s: (s.rank, s.t0)):
+            lines.append(f"{s.rank},{s.t0!r},{s.t1!r},{s.kind},{s.label}")
+        return "\n".join(lines)
+
+    def messages_csv(self) -> str:
+        """Message arrows as CSV text."""
+        lines = ["src,dst,t,nbytes"]
+        for m in sorted(self.messages, key=lambda m: m.t):
+            lines.append(f"{m.src},{m.dst},{m.t!r},{m.nbytes}")
+        return "\n".join(lines)
+
+    def busy_fraction(self, rank: int, kind: str,
+                      t0: Optional[float] = None,
+                      t1: Optional[float] = None) -> float:
+        """Fraction of [t0, t1] the rank spent inside ``kind`` spans.
+
+        Overlapping spans of the same kind are merged before measuring,
+        so nested or duplicated tracing cannot exceed 1.0.
+        """
+        spans = sorted((s.t0, s.t1) for s in self.spans
+                       if s.rank == rank and s.kind == kind)
+        if not spans:
+            return 0.0
+        lo = min(s.t0 for s in self.spans) if t0 is None else t0
+        hi = max(s.t1 for s in self.spans) if t1 is None else t1
+        if hi <= lo:
+            return 0.0
+        total = 0.0
+        cur_a, cur_b = spans[0]
+        for a, b in spans[1:]:
+            if a <= cur_b:
+                cur_b = max(cur_b, b)
+            else:
+                total += (min(cur_b, hi) - max(cur_a, lo))
+                cur_a, cur_b = a, b
+        total += (min(cur_b, hi) - max(cur_a, lo))
+        return max(0.0, min(total / (hi - lo), 1.0))

@@ -1,0 +1,141 @@
+"""Timing and sizing constants for the Data Vortex model.
+
+Every number that shapes a figure lives here, annotated with the paper
+anchor it reproduces.  ``DVConfig()`` gives the defaults used throughout
+the benchmark harness; tests construct variants to probe sensitivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+GiB = 1024 ** 3
+MiB = 1024 ** 2
+WORD_BYTES = 8          #: 64-bit payload words — the DV transfer unit.
+PACKET_BYTES = 16       #: 64-bit header + 64-bit payload on the wire.
+
+
+@dataclass
+class DVConfig:
+    """Data Vortex switch + VIC model parameters.
+
+    Paper anchors (§II, §III, §V):
+
+    * nominal peak payload bandwidth 4.4 GB/s per port;
+    * PCIe *direct write* path limited to 500 MB/s ("only one lane");
+    * DMA to the VIC up to 4x faster than direct writes, DMA from the VIC
+      up to 8x faster than direct reads;
+    * 32 MB of QDR SRAM "DV memory" per VIC;
+    * 64 group counters, 1 reserved as scratch, 2 reserved for the barrier;
+    * DMA table with 8192 entries;
+    * deflection routing adds "statistically ~2 hops" under contention.
+    """
+
+    # -- switch geometry ---------------------------------------------------
+    #: Nodes along a cylinder height (H).  Must be a power of two.
+    height: int = 16
+    #: Nodes along the cylinder circumference (A).  ports = H * A.
+    angles: int = 2
+
+    # -- switch timing -----------------------------------------------------
+    #: Seconds per hop (one angle step).  Chosen so that one ejection per
+    #: cycle per port == 4.4 GB/s of 8-byte payloads: 8 B / 4.4 GB/s.
+    hop_time_s: float = WORD_BYTES / 4.4e9
+    #: Nominal peak payload bandwidth per port (GB/s anchor from Fig. 3).
+    nominal_peak_bw: float = 4.4e9
+    #: Mean extra hops per traversal per unit offered load (deflections).
+    deflection_hops_per_load: float = 2.0
+
+    # -- PCIe paths ----------------------------------------------------------
+    #: Direct (programmed-I/O) host->VIC write bandwidth, bytes/s.
+    pcie_direct_write_bw: float = 0.5e9
+    #: Direct VIC->host read bandwidth, bytes/s (reads are slower still).
+    pcie_direct_read_bw: float = 0.3e9
+    #: DMA host->VIC bandwidth.  The paper says DMA writes are "up to 4x"
+    #: direct writes, but also that DMA/Cached ping-pong reaches 99.4% of
+    #: the 4.4 GB/s switch peak — the hard anchor — so the DMA path must
+    #: exceed the switch line rate; we take the 500 MB/s figure as a
+    #: single-lane PIO limit that DMA bursts are not subject to.
+    pcie_dma_write_bw: float = 5.0e9
+    #: DMA VIC->host bandwidth (same reasoning; reads overlap with writes
+    #: on the two engines).
+    pcie_dma_read_bw: float = 5.0e9
+    #: Per-DMA-transaction setup cost (descriptor write + doorbell), s.
+    dma_setup_s: float = 1.2e-6
+    #: Per-direct-access setup cost (PIO), s.
+    pio_setup_s: float = 0.25e-6
+    #: Number of independent DMA engines per VIC.
+    dma_engines: int = 2
+    #: DMA table entries (transactions that may be queued).
+    dma_table_entries: int = 8192
+    #: Words per DMA table entry (a transaction may span several entries).
+    dma_entry_words: int = 512
+
+    # -- VIC resources -------------------------------------------------------
+    #: DV memory size in bytes (32 MB QDR SRAM).
+    dv_memory_bytes: int = 32 * MiB
+    #: Group counters per VIC.
+    group_counters: int = 64
+    #: Counter index reserved as scratch.
+    scratch_counter: int = 63
+    #: Counter indices reserved for the hardware barrier.
+    barrier_counters: tuple = (61, 62)
+    #: Surprise-FIFO capacity in packets ("thousands of 8-byte messages").
+    fifo_capacity: int = 16384
+    #: Host-side circular buffer the background DMA drains the FIFO into
+    #: (SS III); it extends the effective surprise-packet capacity far
+    #: beyond the on-VIC queue.
+    host_fifo_words: int = 1 << 22
+    #: Host-side software cost to initiate one API call, s.
+    api_call_overhead_s: float = 0.15e-6
+    #: Latency of the zero-counter push the VIC performs via reverse
+    #: bus-master DMA during idle PCIe cycles (host sees counter==0 this
+    #: long after the VIC does).
+    counter_push_latency_s: float = 0.3e-6
+    #: Poll interval for host-side FIFO/counter spinning, s.
+    host_poll_interval_s: float = 0.2e-6
+
+    # -- derived -------------------------------------------------------------
+    @property
+    def ports(self) -> int:
+        """Total switch input/output ports (``A * H``)."""
+        return self.height * self.angles
+
+    @property
+    def cylinders(self) -> int:
+        """Number of nested cylinders: ``log2(H) + 1``."""
+        return self.height.bit_length()  # log2(H) + 1 for powers of two
+
+    @property
+    def dv_memory_words(self) -> int:
+        """DV memory capacity in 64-bit words."""
+        return self.dv_memory_bytes // WORD_BYTES
+
+    @property
+    def port_packet_rate(self) -> float:
+        """Packets per second a port can inject/eject (1 per hop cycle)."""
+        return 1.0 / self.hop_time_s
+
+    def __post_init__(self) -> None:
+        if self.height < 2 or self.height & (self.height - 1):
+            raise ValueError(f"height must be a power of two >= 2, "
+                             f"got {self.height}")
+        if self.angles < 1:
+            raise ValueError("angles must be >= 1")
+        if self.group_counters < 4:
+            raise ValueError("need at least 4 group counters "
+                             "(scratch + 2 barrier + 1 user)")
+
+    def scaled_to_ports(self, n_ports: int) -> "DVConfig":
+        """Return a copy re-dimensioned for at least ``n_ports`` ports.
+
+        Keeps ``angles`` fixed and grows ``height`` to the next power of
+        two, mirroring the paper's §IX observation that each doubling of
+        nodes adds one cylinder.
+        """
+        import dataclasses
+        h = self.height
+        while h * self.angles < n_ports:
+            h *= 2
+        return dataclasses.replace(self, height=h)

@@ -1,0 +1,98 @@
+"""VIC group counters (paper §II–III).
+
+A group counter counts how many words of a transfer are yet to be
+received: the application presets it to the expected word count, incoming
+packets that reference it decrement it, and an API call waits until it
+reaches zero (or a timeout expires).
+
+Faithfully modelled quirks:
+
+* counters are plain integers with *no* arrival ordering guarantees — a
+  data packet that arrives before the "set" lands is lost from the count
+  (the paper's §III footgun), which we reproduce by simply applying
+  operations in arrival order;
+* one counter is reserved as scratch (never waited on) and two are
+  reserved for the hardware barrier;
+* the VIC pushes the set of zero-valued counters to the host during idle
+  PCIe cycles, so host visibility of "reached zero" lags by a small push
+  latency — charged by the API layer, not here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.sim.engine import Engine
+from repro.sim.events import Event
+
+
+class GroupCounters:
+    """Bank of group counters on one VIC."""
+
+    def __init__(self, engine: Engine, n_counters: int,
+                 scratch: int, barrier: tuple) -> None:
+        if n_counters < 4:
+            raise ValueError("need at least 4 counters")
+        self.engine = engine
+        self.n_counters = n_counters
+        self.scratch = scratch
+        self.barrier = tuple(barrier)
+        self._values: List[int] = [0] * n_counters
+        self._zero_waiters: Dict[int, List[Event]] = {}
+
+    def _check(self, idx: int) -> None:
+        if not 0 <= idx < self.n_counters:
+            raise IndexError(f"counter {idx} out of range "
+                             f"(0..{self.n_counters - 1})")
+
+    def value(self, idx: int) -> int:
+        """Current counter value (VIC-side view, no PCIe lag)."""
+        self._check(idx)
+        return self._values[idx]
+
+    def set(self, idx: int, value: int) -> None:
+        """Overwrite the counter (host preset or remote set packet)."""
+        self._check(idx)
+        if value < 0:
+            raise ValueError("counter preset must be non-negative")
+        self._values[idx] = value
+        if value == 0:
+            self._fire(idx)
+
+    def decrement(self, idx: int, n: int = 1) -> None:
+        """Decrement by ``n`` arrivals.  May go negative (set/data race)."""
+        self._check(idx)
+        if n < 0:
+            raise ValueError("decrement count must be non-negative")
+        self._values[idx] -= n
+        if self._values[idx] == 0:
+            self._fire(idx)
+
+    def _fire(self, idx: int) -> None:
+        for ev in self._zero_waiters.pop(idx, []):
+            if not ev.triggered:
+                ev.succeed(idx)
+
+    def wait_zero(self, idx: int) -> Event:
+        """Event firing when the counter is (or becomes) exactly zero.
+
+        Note the *exactly*: a counter that skipped past zero because data
+        raced ahead of the preset never fires — reproducing the hang the
+        paper warns about (a timeout at the API layer bounds the damage).
+        """
+        self._check(idx)
+        ev = self.engine.event(name=f"ctr{idx}:zero")
+        if self._values[idx] == 0:
+            ev.succeed(idx)
+        else:
+            self._zero_waiters.setdefault(idx, []).append(ev)
+        return ev
+
+    def zero_mask(self) -> List[bool]:
+        """Which counters currently read zero (the reverse-DMA push set)."""
+        return [v == 0 for v in self._values]
+
+    def user_counters(self) -> List[int]:
+        """Counter indices free for application use."""
+        reserved = {self.scratch, *self.barrier}
+        return [i for i in range(self.n_counters) if i not in reserved]

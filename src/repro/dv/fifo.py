@@ -1,0 +1,136 @@
+"""The VIC "surprise packet" FIFO (paper §II–III).
+
+Unscheduled messages land here rather than at a coordinated DV-memory
+address.  The queue buffers thousands of 8-byte payloads; a background DMA
+process drains it into a host-side circular buffer so host polling is
+cheap.  Ordering across the network is *not* guaranteed — packets from one
+source may interleave arbitrarily with others — which we model by keeping
+arrival order (the network model already reorders at batch granularity).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.sim.engine import Engine
+from repro.sim.events import Event
+
+
+class FifoOverflow(RuntimeError):
+    """Raised in strict mode when the surprise FIFO overflows."""
+
+
+class SurpriseFIFO:
+    """Network-addressable FIFO of 64-bit payload words.
+
+    Parameters
+    ----------
+    engine:
+        Owning engine.
+    capacity:
+        Maximum buffered words before overflow.
+    strict:
+        If True (default), overflow raises :class:`FifoOverflow` — the
+        benchmarks are written never to overflow, so an overflow is a
+        programming error.  If False, excess packets are dropped and
+        counted, matching what lossy hardware would do.
+    """
+
+    def __init__(self, engine: Engine, capacity: int,
+                 strict: bool = True) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.engine = engine
+        self.capacity = capacity
+        self.strict = strict
+        self._segments: List[np.ndarray] = []
+        self._src_tags: List[int] = []
+        self._n_words = 0
+        self.dropped = 0
+        #: lifetime count of words accepted (drained or not) — protocols
+        #: use it to decide when everything addressed to them has landed
+        self.total_pushed = 0
+        self._waiters: List[Event] = []
+
+    def __len__(self) -> int:
+        return self._n_words
+
+    # -- network side ------------------------------------------------------
+    def push(self, values: np.ndarray, src: int = -1) -> int:
+        """Append a batch of payload words arriving from ``src``.
+
+        Returns the number of words accepted.
+        """
+        values = np.atleast_1d(np.asarray(values, dtype=np.uint64))
+        room = self.capacity - self._n_words
+        if values.size > room:
+            if self.strict:
+                raise FifoOverflow(
+                    f"surprise FIFO overflow: {values.size} words arriving "
+                    f"with only {room} free (capacity {self.capacity})")
+            self.dropped += values.size - room
+            values = values[:room]
+        if values.size:
+            self._segments.append(values)
+            self._src_tags.append(src)
+            self._n_words += values.size
+            self.total_pushed += values.size
+            self._wake()
+        return values.size
+
+    # -- host side ----------------------------------------------------------
+    def poll(self) -> int:
+        """Words currently available (what the host circular buffer shows)."""
+        return self._n_words
+
+    def pop(self, n: Optional[int] = None) -> np.ndarray:
+        """Remove and return up to ``n`` words (all, if ``n`` is None)."""
+        if n is None:
+            n = self._n_words
+        out = []
+        taken = 0
+        while self._segments and taken < n:
+            seg = self._segments[0]
+            want = n - taken
+            if seg.size <= want:
+                out.append(seg)
+                taken += seg.size
+                self._segments.pop(0)
+                self._src_tags.pop(0)
+            else:
+                out.append(seg[:want])
+                self._segments[0] = seg[want:]
+                taken += want
+        self._n_words -= taken
+        if not out:
+            return np.empty(0, np.uint64)
+        return np.concatenate(out)
+
+    def pop_with_sources(self) -> List[tuple]:
+        """Drain everything, returning ``(src, words)`` per arrival batch.
+
+        Convenience for protocols that encode the sender in-band anyway
+        but want cheap bookkeeping in tests.
+        """
+        out = list(zip(self._src_tags, self._segments))
+        self._segments = []
+        self._src_tags = []
+        self._n_words = 0
+        return out
+
+    def wait_nonempty(self) -> Event:
+        """Event firing when at least one word is available."""
+        ev = self.engine.event(name="fifo:nonempty")
+        if self._n_words:
+            ev.succeed(self._n_words)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def _wake(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        for ev in waiters:
+            if not ev.triggered:
+                ev.succeed(self._n_words)

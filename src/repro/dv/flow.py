@@ -1,0 +1,185 @@
+"""Flow-level Data Vortex network model for long benchmark runs.
+
+The cycle-accurate switch (:mod:`repro.dv.switch`) is exact but costs one
+Python iteration per node per cycle — far too slow for benchmarks that
+move millions of packets.  :class:`FlowNetwork` replaces it inside the
+discrete-event cluster simulation with a conservative analytic model that
+keeps the three effects that matter at application level:
+
+1. **injection serialisation** — a port injects at most one packet per
+   hop cycle (this is what makes "source aggregation" effective);
+2. **ejection serialisation** — a port ejects at most one packet per hop
+   cycle, so many-to-one traffic queues *in the network* exactly as the
+   deflection fabric would absorb it;
+3. **time of flight** — ``min_hops(src, dest) * hop_time`` plus a
+   load-dependent deflection penalty (paper §II: "statistically by two
+   hops").
+
+``tests/test_dv_flow_vs_cycle.py`` checks this model against the cycle
+switch on small configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.dv.config import DVConfig
+from repro.dv.topology import DataVortexTopology
+from repro.sim.engine import Engine
+from repro.sim.events import Event
+
+#: Signature of a port receiver: ``(src_port, payload, n_packets)``.
+Receiver = Callable[[int, Any, int], None]
+
+
+@dataclass
+class FlowStats:
+    """Aggregate accounting for a :class:`FlowNetwork`."""
+
+    packets_sent: int = 0
+    transfers: int = 0
+    total_injection_wait_s: float = 0.0
+    total_ejection_wait_s: float = 0.0
+
+
+class FlowNetwork:
+    """Flow-level model of one Data Vortex switch.
+
+    Parameters
+    ----------
+    engine:
+        Discrete-event engine that owns time.
+    config:
+        Timing constants; the topology is sized from it (scaled up to
+        cover ``n_ports`` if needed).
+    n_ports:
+        Number of attached VICs.
+    """
+
+    def __init__(self, engine: Engine, config: DVConfig,
+                 n_ports: int) -> None:
+        if n_ports < 1:
+            raise ValueError("need at least one port")
+        cfg = config.scaled_to_ports(n_ports)
+        self.engine = engine
+        self.config = cfg
+        self.topo = DataVortexTopology(height=cfg.height, angles=cfg.angles)
+        self.n_ports = n_ports
+        self._receivers: List[Optional[Receiver]] = [None] * n_ports
+        #: earliest time each port can inject / eject its next packet
+        self._inject_free = [0.0] * n_ports
+        self._eject_free = [0.0] * n_ports
+        self.stats = FlowStats()
+
+    # -- wiring ---------------------------------------------------------------
+    def attach(self, port: int, receiver: Receiver) -> None:
+        """Connect ``receiver`` to ``port``; called once per VIC."""
+        if self._receivers[port] is not None:
+            raise ValueError(f"port {port} already attached")
+        self._receivers[port] = receiver
+
+    # -- load estimate ----------------------------------------------------------
+    def _load(self, now: float) -> float:
+        """Fraction of ports currently busy injecting (deflection driver)."""
+        busy = sum(1 for t in self._inject_free if t > now)
+        return busy / self.n_ports
+
+    def time_of_flight(self, src: int, dest: int, now: float) -> float:
+        """Latency of the first packet of a transfer entering at ``now``."""
+        hops = self.topo.min_hops(src, dest)
+        penalty = self.config.deflection_hops_per_load * self._load(now)
+        return (hops + penalty) * self.config.hop_time_s
+
+    # -- transfers -----------------------------------------------------------
+    def transmit(self, src: int, dest: int, n_packets: int,
+                 payload: Any = None, inject_rate: Optional[float] = None,
+                 ) -> Event:
+        """Send ``n_packets`` fine-grained packets from ``src`` to ``dest``.
+
+        Returns an event that fires when the *last* packet has been
+        ejected at the destination; at that moment the destination's
+        receiver callback is invoked with ``(src, payload, n_packets)``.
+
+        ``inject_rate`` (packets/s) caps injection below the switch line
+        rate — used when the PCIe side, not the network, feeds the VIC
+        slower than one packet per hop cycle.
+        """
+        if not 0 <= src < self.n_ports:
+            raise ValueError(f"bad src port {src}")
+        if not 0 <= dest < self.n_ports:
+            raise ValueError(f"bad dest port {dest}")
+        if n_packets < 1:
+            raise ValueError("n_packets must be >= 1")
+
+        now = self.engine.now
+        hop = self.config.hop_time_s
+        gap = max(hop, 1.0 / inject_rate) if inject_rate else hop
+
+        # 1. injection serialisation at the source port (reserved now:
+        # the sender's VIC owns its own port)
+        inj_start = max(now, self._inject_free[src])
+        self.stats.total_injection_wait_s += inj_start - now
+        inj_end = inj_start + n_packets * gap
+        self._inject_free[src] = inj_end
+
+        # 2. time of flight of the first packet
+        tof = self.time_of_flight(src, dest, now)
+        first_arrival = inj_start + gap + tof
+
+        self.stats.packets_sent += n_packets
+        self.stats.transfers += 1
+
+        done = self.engine.event(name=f"dv:tx {src}->{dest} x{n_packets}")
+        receiver = self._receivers[dest]
+
+        # 3. ejection serialisation at the destination port, reserved at
+        # *arrival* time — not at call time — so streams claim the port
+        # in causal order (a transfer scheduled later but arriving
+        # earlier must not queue behind one that merely reserved first).
+        def _reserve(_ev: Event) -> None:
+            t = self.engine.now
+            ej_start = max(t, self._eject_free[dest])
+            self.stats.total_ejection_wait_s += ej_start - t
+            # the stream cannot eject faster than it was injected
+            ej_end = max(ej_start + (n_packets - 1) * hop,
+                         inj_end + tof)
+            self._eject_free[dest] = ej_end
+
+            def _deliver(_ev2: Event) -> None:
+                if receiver is not None:
+                    receiver(src, payload, n_packets)
+                done.succeed(payload)
+
+            marker2 = self.engine.event(name="dv:eject")
+            marker2.add_callback(_deliver)
+            marker2._ok = True
+            marker2._value = None
+            self.engine._enqueue(marker2, delay=ej_end - t)
+
+        marker = self.engine.event(name="dv:arrive")
+        marker.add_callback(_reserve)
+        marker._ok = True
+        marker._value = None
+        self.engine._enqueue(marker, delay=first_arrival - now)
+        return done
+
+    def scatter(self, src: int, dests: Sequence[int],
+                counts: Sequence[int], payloads: Sequence[Any],
+                inject_rate: Optional[float] = None) -> Event:
+        """Send per-destination packet groups from one source.
+
+        Models the paper's "source aggregation" pattern: the host batches
+        packets bound for *many* destinations into one PCIe transfer; the
+        VIC then streams them into the switch back to back.  Injection is
+        serialised across the whole batch; ejection is serialised per
+        destination.  Returns an event firing when every group has been
+        delivered.
+        """
+        if not (len(dests) == len(counts) == len(payloads)):
+            raise ValueError("dests, counts, payloads must align")
+        events = [
+            self.transmit(src, d, c, payload=p, inject_rate=inject_rate)
+            for d, c, p in zip(dests, counts, payloads)
+        ]
+        return self.engine.all_of(events)

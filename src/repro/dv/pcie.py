@@ -1,0 +1,113 @@
+"""PCI Express path between host memory and the VIC.
+
+Models the four data paths the paper distinguishes and the benchmarks
+sweep (§III, §V):
+
+* **direct write** (programmed I/O, host -> VIC): 500 MB/s — "limited by
+  the PCIe lane read bandwidth (500 MB/s, only one lane is used)";
+* **direct read** (VIC -> host PIO): slower still;
+* **DMA write** (host -> VIC) and **DMA read** (VIC -> host): fast paths
+  that approach the switch's 4.4 GB/s line rate, with a per-transaction
+  setup cost; two engines allow in/out overlap ("incoming and outgoing
+  DMA transfers can be overlapped");
+* DMA transactions are described by a **DMA table** with 8192 entries; a
+  transfer spanning more entries than the table holds must be chunked.
+
+All methods are generator processes: ``yield from bus.dma_write(nbytes)``
+from inside a rank process charges the simulated time.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.dv.config import DVConfig
+from repro.sim.engine import Engine
+from repro.sim.resources import Resource
+
+
+class PCIeBus:
+    """Per-node PCIe link + DMA engines for one VIC."""
+
+    def __init__(self, engine: Engine, config: DVConfig, name: str = "pcie"
+                 ) -> None:
+        self.engine = engine
+        self.config = config
+        self.name = name
+        #: PIO accesses serialise on the link.
+        self._pio = Resource(engine, capacity=1, name=f"{name}:pio")
+        #: Two DMA engines; each holds one transaction at a time.
+        self._dma = Resource(engine, capacity=config.dma_engines,
+                             name=f"{name}:dma")
+        self.bytes_pio_written = 0
+        self.bytes_pio_read = 0
+        self.bytes_dma_written = 0
+        self.bytes_dma_read = 0
+
+    # -- programmed I/O ---------------------------------------------------
+    def direct_write(self, nbytes: int) -> Generator:
+        """Host -> VIC programmed-I/O write of ``nbytes``."""
+        self._validate(nbytes)
+        yield self._pio.acquire()
+        try:
+            yield self.engine.timeout(
+                self.config.pio_setup_s
+                + nbytes / self.config.pcie_direct_write_bw)
+            self.bytes_pio_written += nbytes
+        finally:
+            self._pio.release()
+
+    def direct_read(self, nbytes: int) -> Generator:
+        """VIC -> host programmed-I/O read of ``nbytes``."""
+        self._validate(nbytes)
+        yield self._pio.acquire()
+        try:
+            yield self.engine.timeout(
+                self.config.pio_setup_s
+                + nbytes / self.config.pcie_direct_read_bw)
+            self.bytes_pio_read += nbytes
+        finally:
+            self._pio.release()
+
+    # -- DMA ------------------------------------------------------------------
+    def _dma_chunks(self, nbytes: int) -> list:
+        """Split a transfer into DMA-table-sized transactions."""
+        max_bytes = (self.config.dma_table_entries
+                     * self.config.dma_entry_words * 8)
+        chunks = []
+        while nbytes > 0:
+            take = min(nbytes, max_bytes)
+            chunks.append(take)
+            nbytes -= take
+        return chunks
+
+    def dma_write(self, nbytes: int) -> Generator:
+        """Host -> VIC DMA (requires HugeTLB pages on the real system)."""
+        self._validate(nbytes)
+        for chunk in self._dma_chunks(nbytes):
+            yield self._dma.acquire()
+            try:
+                yield self.engine.timeout(
+                    self.config.dma_setup_s
+                    + chunk / self.config.pcie_dma_write_bw)
+                self.bytes_dma_written += chunk
+            finally:
+                self._dma.release()
+
+    def dma_read(self, nbytes: int) -> Generator:
+        """VIC -> host DMA."""
+        self._validate(nbytes)
+        for chunk in self._dma_chunks(nbytes):
+            yield self._dma.acquire()
+            try:
+                yield self.engine.timeout(
+                    self.config.dma_setup_s
+                    + chunk / self.config.pcie_dma_read_bw)
+                self.bytes_dma_read += chunk
+            finally:
+                self._dma.release()
+
+    @staticmethod
+    def _validate(nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes}")

@@ -1,0 +1,195 @@
+"""Fault tolerance and terminal reliability of the Data Vortex switch.
+
+The paper's §II cites reliability analyses of the optical switch fabric
+(its refs [12], [13]: fault-tolerance and terminal/component reliability
+of data vortex switch fabrics).  This module reproduces that style of
+analysis for the electronic topology:
+
+* :func:`switch_graph` — the switch as a directed graph (networkx);
+* :func:`path_redundancy` — node-disjoint route counts between ports
+  (structural fault tolerance);
+* :func:`terminal_reliability` — Monte-Carlo probability that a route
+  survives random switching-node failures (graph-level upper bound);
+* :func:`routed_delivery_rate` — what the *actual deflection routing*
+  delivers under the same failures (cycle-accurate, oblivious routing
+  cannot exploit every surviving path, so this lower-bounds the graph
+  number).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.dv.switch import CycleSwitch
+from repro.dv.topology import Coord, DataVortexTopology
+
+#: sentinel graph vertices for a port's injection/ejection side
+def _inj(port: int) -> Tuple[str, int]:
+    return ("inj", port)
+
+
+def _ej(port: int) -> Tuple[str, int]:
+    return ("ej", port)
+
+
+def switch_graph(topo: DataVortexTopology) -> "nx.DiGraph":
+    """Directed graph of the switch: switching nodes plus the *routing-
+    feasible* edges (descents that a correctly-routed packet could take
+    and all deflection edges), with injection/ejection terminals.
+
+    Descent edges are unconditional in hardware, but a packet only uses
+    a descent when its height bit matches — the graph still includes
+    every physical edge because *some* destination uses each one.
+    """
+    g = nx.DiGraph()
+    for coord in topo.iter_nodes():
+        g.add_node(coord)
+    for coord in topo.iter_nodes():
+        c, h, a = coord
+        g.add_edge(coord, topo.deflect(c, h, a), kind="deflect")
+        if c < topo.cylinders - 1:
+            g.add_edge(coord, topo.descend(c, h, a), kind="descend")
+    innermost = topo.cylinders - 1
+    for port in range(topo.ports):
+        g.add_edge(_inj(port), topo.port_coord(port, 0), kind="inject")
+        g.add_edge(topo.port_coord(port, innermost), _ej(port),
+                   kind="eject")
+    return g
+
+
+def _route_subgraph(topo: DataVortexTopology, g: "nx.DiGraph",
+                    dest_port: int) -> "nx.DiGraph":
+    """Edges a packet *destined for dest_port* may legally traverse.
+
+    Descent from cylinder ``c`` is only legal where the node's height
+    bit ``c`` equals the destination's; the innermost cylinder only
+    carries the destination height.
+    """
+    dest_h, _ = divmod(dest_port, topo.angles)
+    innermost = topo.cylinders - 1
+
+    def ok_edge(u, v) -> bool:
+        kind = g.edges[u, v]["kind"]
+        if kind == "inject":
+            return True
+        if kind == "eject":
+            return v == _ej(dest_port)
+        c, h, a = u
+        if kind == "descend":
+            return topo.descent_eligible(c, h, dest_h)
+        # deflections are always legal, but a packet never leaves the
+        # destination height on the innermost cylinder
+        if c == innermost:
+            return h == dest_h
+        return True
+
+    sub = nx.DiGraph()
+    sub.add_nodes_from(g.nodes)
+    sub.add_edges_from((u, v, d) for u, v, d in g.edges(data=True)
+                       if ok_edge(u, v))
+    return sub
+
+
+def path_redundancy(topo: DataVortexTopology, src_port: int,
+                    dest_port: int) -> int:
+    """Number of node-disjoint legal routes between a port pair's
+    *interior* (from the source's cylinder-0 node to the destination's
+    innermost node, neither counted as a failure candidate).
+
+    A port's own entry and exit nodes are unavoidable single points of
+    failure by construction; what the reliability literature measures is
+    the diversity in between.
+    """
+    g = switch_graph(topo)
+    sub = _route_subgraph(topo, g, dest_port)
+    s = topo.port_coord(src_port, 0)
+    t = topo.port_coord(dest_port, topo.cylinders - 1)
+    if s == t:
+        return topo.angles  # degenerate same-node pair
+    return nx.node_connectivity(sub, s, t)
+
+
+@dataclass
+class ReliabilityPoint:
+    """Survival statistics at one node-failure probability."""
+
+    p_fail: float
+    graph_reliability: float      #: a legal route survives (upper bound)
+    routed_delivery: float        #: deflection routing delivers (actual)
+    trials: int
+
+
+def _sample_failures(topo: DataVortexTopology, p_fail: float,
+                     rng: random.Random) -> Set[Coord]:
+    return {coord for coord in topo.iter_nodes()
+            if rng.random() < p_fail}
+
+
+def terminal_reliability(topo: DataVortexTopology, p_fail: float,
+                         trials: int = 200,
+                         pairs: Optional[List[Tuple[int, int]]] = None,
+                         seed: int = 0) -> float:
+    """Monte-Carlo probability that a legal route survives random
+    switching-node failures, averaged over port pairs."""
+    rng = random.Random(seed)
+    g = switch_graph(topo)
+    if pairs is None:
+        pairs = [(rng.randrange(topo.ports), rng.randrange(topo.ports))
+                 for _ in range(8)]
+    subs = {d: _route_subgraph(topo, g, d) for _, d in pairs}
+    ok = 0
+    total = 0
+    for _ in range(trials):
+        failed = _sample_failures(topo, p_fail, rng)
+        for s, d in pairs:
+            sub = subs[d]
+            alive = sub.subgraph(n for n in sub.nodes
+                                 if n not in failed)
+            total += 1
+            if (_inj(s) in alive and _ej(d) in alive
+                    and nx.has_path(alive, _inj(s), _ej(d))):
+                ok += 1
+    return ok / total
+
+
+def routed_delivery_rate(topo: DataVortexTopology, p_fail: float,
+                         trials: int = 50, packets_per_trial: int = 64,
+                         seed: int = 0) -> float:
+    """Fraction of packets the *actual* deflection routing delivers
+    under random node failures (cycle-accurate, TTL-bounded)."""
+    rng = random.Random(seed)
+    delivered = 0
+    total = 0
+    ttl = 16 * (topo.cylinders + topo.angles)
+    for _ in range(trials):
+        failed = _sample_failures(topo, p_fail, rng)
+        sw = CycleSwitch(topo, failed_nodes=failed, ttl_hops=ttl)
+        for _ in range(packets_per_trial):
+            sw.inject(rng.randrange(topo.ports),
+                      rng.randrange(topo.ports))
+        out = sw.run_until_drained(max_cycles=200_000)
+        delivered += len(out)
+        total += packets_per_trial
+    return delivered / total
+
+
+def reliability_curve(topo: DataVortexTopology,
+                      p_fails: Iterable[float] = (0.0, 0.01, 0.02, 0.05),
+                      trials: int = 100, seed: int = 0
+                      ) -> List[ReliabilityPoint]:
+    """Sweep failure probability; one :class:`ReliabilityPoint` each."""
+    out = []
+    for p in p_fails:
+        out.append(ReliabilityPoint(
+            p_fail=p,
+            graph_reliability=terminal_reliability(
+                topo, p, trials=trials, seed=seed),
+            routed_delivery=routed_delivery_rate(
+                topo, p, trials=max(trials // 4, 10), seed=seed),
+            trials=trials,
+        ))
+    return out

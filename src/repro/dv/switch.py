@@ -1,0 +1,271 @@
+"""Cycle-accurate Data Vortex switch simulator.
+
+This is the ground-truth model of the switch of paper §II: every switching
+node is simulated every cycle, deflection signals propagate outward from
+the innermost cylinder, and injection honours back-pressure.  It is used
+
+* to validate the routing algorithm (every packet reaches its destination,
+  no packet is ever buffered or dropped);
+* to measure latency/deflection statistics under synthetic traffic, which
+  calibrate the flow-level model (:mod:`repro.dv.flow`);
+* by the ``switch_anatomy`` example and the deflection ablation benchmark.
+
+The simulator is intentionally independent of the discrete-event engine —
+it advances in lock-step cycles, which is how the hardware works.
+"""
+
+from __future__ import annotations
+
+import collections
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.dv.topology import Coord, DataVortexTopology
+
+
+@dataclass
+class FlightRecord:
+    """Per-packet bookkeeping inside the switch."""
+
+    pkt_id: int
+    payload: Any
+    dest_h: int
+    dest_a: int
+    coord: Coord
+    inject_cycle: int
+    hops: int = 0
+    deflections: int = 0
+
+
+@dataclass
+class Ejection:
+    """A packet delivered to an output port."""
+
+    cycle: int
+    port: int
+    pkt_id: int
+    payload: Any
+    latency_cycles: int
+    hops: int
+    deflections: int
+
+
+@dataclass
+class SwitchStats:
+    """Aggregate statistics of a :class:`CycleSwitch` run."""
+
+    injected: int = 0
+    ejected: int = 0
+    total_hops: int = 0
+    total_deflections: int = 0
+    total_latency_cycles: int = 0
+    max_latency_cycles: int = 0
+    injection_blocked_cycles: int = 0
+    dropped: int = 0
+
+    @property
+    def mean_latency_cycles(self) -> float:
+        return self.total_latency_cycles / self.ejected if self.ejected else 0.0
+
+    @property
+    def mean_hops(self) -> float:
+        return self.total_hops / self.ejected if self.ejected else 0.0
+
+    @property
+    def mean_deflections(self) -> float:
+        return self.total_deflections / self.ejected if self.ejected else 0.0
+
+
+class CycleSwitch:
+    """Cycle-level Data Vortex switch.
+
+    Usage::
+
+        sw = CycleSwitch(DataVortexTopology(height=16, angles=2))
+        sw.inject(src_port=0, dest_port=17, payload="hello")
+        ejections = sw.run_until_drained()
+    """
+
+    def __init__(self, topology: DataVortexTopology,
+                 failed_nodes: Optional[set] = None,
+                 ttl_hops: Optional[int] = None) -> None:
+        self.topo = topology
+        self.cycle = 0
+        self._next_id = 0
+        #: packets waiting at each input port (unbounded host-side queue;
+        #: the *switch* itself never buffers).
+        self.input_queues: List[Deque[FlightRecord]] = [
+            collections.deque() for _ in range(topology.ports)]
+        #: current node occupancy: coord -> packet
+        self.occupancy: Dict[Coord, FlightRecord] = {}
+        #: switching nodes taken out of service (fault injection, in the
+        #: spirit of the reliability studies the paper cites).  A failed
+        #: node accepts no packet; a packet whose descend *and* deflect
+        #: targets are both unavailable is dropped and counted.
+        self.failed_nodes: set = set(failed_nodes or ())
+        for c in self.failed_nodes:
+            if not (0 <= c[0] < topology.cylinders
+                    and 0 <= c[1] < topology.height
+                    and 0 <= c[2] < topology.angles):
+                raise ValueError(f"failed node {c} outside the topology")
+        #: drop packets that exceed this many hops (None = never; fault
+        #: experiments set it so unreachable destinations cannot livelock)
+        self.ttl_hops = ttl_hops
+        self.stats = SwitchStats()
+
+    # -- injection ------------------------------------------------------------
+    def inject(self, src_port: int, dest_port: int,
+               payload: Any = None) -> int:
+        """Queue a packet at ``src_port`` for ``dest_port``; returns its id."""
+        topo = self.topo
+        if not 0 <= src_port < topo.ports:
+            raise ValueError(f"bad src_port {src_port}")
+        if not 0 <= dest_port < topo.ports:
+            raise ValueError(f"bad dest_port {dest_port}")
+        dest_h, dest_a = divmod(dest_port, topo.angles)
+        rec = FlightRecord(
+            pkt_id=self._next_id, payload=payload,
+            dest_h=dest_h, dest_a=dest_a,
+            coord=topo.port_coord(src_port, 0),
+            inject_cycle=-1,  # set on actual injection
+        )
+        self._next_id += 1
+        self.input_queues[src_port].append(rec)
+        return rec.pkt_id
+
+    @property
+    def in_flight(self) -> int:
+        """Packets currently inside the switch."""
+        return len(self.occupancy)
+
+    @property
+    def pending(self) -> int:
+        """Packets still waiting at input ports."""
+        return sum(len(q) for q in self.input_queues)
+
+    # -- the cycle ----------------------------------------------------------
+    def step(self) -> List[Ejection]:
+        """Advance one cycle; returns the packets ejected this cycle."""
+        topo = self.topo
+        innermost = topo.cylinders - 1
+        moves: Dict[Coord, FlightRecord] = {}
+        # Nodes that will receive a packet along a *same-cylinder* path
+        # this cycle.  Arrival on that path asserts the deflection signal,
+        # blocking the outer cylinder (or injection, on cylinder 0).
+        same_cyl_claims: set = set()
+        ejections: List[Ejection] = []
+
+        # Group current packets by cylinder for inner-to-outer resolution:
+        # a node's deflection signal depends on decisions one cylinder in.
+        by_cylinder: List[List[FlightRecord]] = [
+            [] for _ in range(topo.cylinders)]
+        for rec in self.occupancy.values():
+            by_cylinder[rec.coord[0]].append(rec)
+
+        failed = self.failed_nodes
+        for c in range(innermost, -1, -1):
+            for rec in by_cylinder[c]:
+                _, h, a = rec.coord
+                if self.ttl_hops is not None and rec.hops >= self.ttl_hops:
+                    self.stats.dropped += 1
+                    continue
+                if c == innermost:
+                    # Circulate at fixed height toward the target angle.
+                    target = topo.deflect(c, h, a)
+                    if target in failed:
+                        self.stats.dropped += 1   # nowhere to go
+                        continue
+                    moves[target] = rec
+                    same_cyl_claims.add(target)
+                    rec.hops += 1
+                else:
+                    eligible = topo.descent_eligible(c, h, rec.dest_h)
+                    descend_target = topo.descend(c, h, a)
+                    if (eligible and descend_target not in same_cyl_claims
+                            and descend_target not in failed):
+                        moves[descend_target] = rec
+                        rec.hops += 1
+                    else:
+                        target = topo.deflect(c, h, a)
+                        if target in failed:
+                            self.stats.dropped += 1
+                            continue
+                        moves[target] = rec
+                        same_cyl_claims.add(target)
+                        rec.hops += 1
+                        if eligible:
+                            # Contention-induced deflection (the packet
+                            # wanted to descend but the deflection signal
+                            # blocked it).  Height-bit-fixing hops are
+                            # ordinary routing, not deflections.
+                            rec.deflections += 1
+
+        # Injection: a port may place a packet on its outer-cylinder node
+        # unless the node is claimed by a same-cylinder (deflection) move.
+        for port, queue in enumerate(self.input_queues):
+            if not queue:
+                continue
+            node = topo.port_coord(port, 0)
+            if node in failed:
+                # dead input port: its traffic can never enter
+                self.stats.dropped += len(queue)
+                queue.clear()
+                continue
+            rec = queue[0]
+            if topo.port_coord(topo.coord_port(rec.dest_h, rec.dest_a),
+                               innermost) in failed:
+                # dead ejection port: the packet could never leave
+                queue.popleft()
+                self.stats.dropped += 1
+                continue
+            if node in moves:
+                self.stats.injection_blocked_cycles += 1
+                continue
+            rec = queue.popleft()
+            rec.inject_cycle = self.cycle
+            rec.coord = node
+            moves[node] = rec
+            self.stats.injected += 1
+
+        # Commit: eject packets arriving at their destination output node.
+        self.cycle += 1
+        self.occupancy = {}
+        for coord, rec in moves.items():
+            c, h, a = coord
+            if (c == innermost and h == rec.dest_h and a == rec.dest_a
+                    and rec.inject_cycle >= 0 and rec.hops > 0):
+                lat = self.cycle - rec.inject_cycle
+                ejections.append(Ejection(
+                    cycle=self.cycle,
+                    port=topo.coord_port(h, a),
+                    pkt_id=rec.pkt_id, payload=rec.payload,
+                    latency_cycles=lat, hops=rec.hops,
+                    deflections=rec.deflections))
+                self.stats.ejected += 1
+                self.stats.total_hops += rec.hops
+                self.stats.total_deflections += rec.deflections
+                self.stats.total_latency_cycles += lat
+                self.stats.max_latency_cycles = max(
+                    self.stats.max_latency_cycles, lat)
+            else:
+                rec.coord = coord
+                self.occupancy[coord] = rec
+        return ejections
+
+    def run_until_drained(self, max_cycles: int = 1_000_000
+                          ) -> List[Ejection]:
+        """Step until all injected and pending packets have been ejected.
+
+        Raises ``RuntimeError`` if the switch fails to drain within
+        ``max_cycles`` (which would indicate a routing livelock — the
+        tests assert this never happens).
+        """
+        out: List[Ejection] = []
+        start = self.cycle
+        while self.pending or self.in_flight:
+            if self.cycle - start >= max_cycles:
+                raise RuntimeError(
+                    f"switch failed to drain within {max_cycles} cycles "
+                    f"({self.pending} pending, {self.in_flight} in flight)")
+            out.extend(self.step())
+        return out

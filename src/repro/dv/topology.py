@@ -1,0 +1,163 @@
+"""Geometry and routing rules of the Data Vortex switch (paper §II).
+
+The switch is a stack of ``C = log2(H) + 1`` nested cylinders, each with
+``H`` heights and ``A`` angles.  A switching node is addressed by the
+triplet ``(c, h, a)``: ``c = 0`` is the outermost (injection) cylinder and
+``c = C-1`` the innermost (ejection) cylinder.
+
+Routing (as described in §II):
+
+* every hop advances the angle by one (``a -> (a+1) % A``);
+* *normal paths* descend one cylinder at the same height — taken when the
+  packet's destination-height bit for the current cylinder matches the
+  corresponding bit of the node's height ("the c-th bit of the packet
+  header is compared with the most significant bit of the node's height");
+* *deflection paths* stay in the same cylinder and flip the height bit the
+  cylinder is responsible for, so a deflected packet becomes
+  descent-eligible after one more hop;
+* on the innermost cylinder the packet circulates at its destination
+  height until it reaches the destination angle and is ejected.
+
+Cylinder ``c`` (for ``c < log2 H``) resolves bit ``c`` of the destination
+height, MSB first; the innermost cylinder resolves the angle.  Contention
+is resolved by *deflection signals*: a node receiving a packet along a
+same-cylinder path blocks the outer-cylinder node from descending into it
+(and, on the outermost cylinder, blocks injection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+Coord = Tuple[int, int, int]  # (cylinder, height, angle)
+
+
+@dataclass(frozen=True)
+class DataVortexTopology:
+    """Static geometry + routing functions for an ``A x H`` port switch."""
+
+    height: int
+    angles: int
+
+    def __post_init__(self) -> None:
+        if self.height < 2 or self.height & (self.height - 1):
+            raise ValueError("height must be a power of two >= 2")
+        if self.angles < 1:
+            raise ValueError("angles must be >= 1")
+
+    # -- sizes ---------------------------------------------------------------
+    @property
+    def levels(self) -> int:
+        """Number of height bits to resolve (``log2 H``)."""
+        return self.height.bit_length() - 1
+
+    @property
+    def cylinders(self) -> int:
+        """``log2(H) + 1`` cylinders."""
+        return self.levels + 1
+
+    @property
+    def ports(self) -> int:
+        """Input (= output) port count ``A * H``."""
+        return self.height * self.angles
+
+    @property
+    def nodes(self) -> int:
+        """Total switching nodes ``A * H * C`` (scales as ``N log N``)."""
+        return self.ports * self.cylinders
+
+    # -- port <-> coordinate mapping ----------------------------------------
+    def port_coord(self, port: int, cylinder: int) -> Coord:
+        """Node coordinates of ``port`` on the given cylinder.
+
+        Injection ports live on cylinder 0, ejection ports on the
+        innermost cylinder, both at ``(h, a) = divmod(port, A)``.
+        """
+        if not 0 <= port < self.ports:
+            raise ValueError(f"port {port} out of range (0..{self.ports-1})")
+        h, a = divmod(port, self.angles)
+        return (cylinder, h, a)
+
+    def coord_port(self, h: int, a: int) -> int:
+        """Inverse of :meth:`port_coord` for the (h, a) pair."""
+        return h * self.angles + a
+
+    # -- routing bits ----------------------------------------------------------
+    def height_bit(self, h: int, c: int) -> int:
+        """Bit ``c`` of height ``h``, MSB first (bit 0 = most significant)."""
+        return (h >> (self.levels - 1 - c)) & 1
+
+    def descent_eligible(self, c: int, h: int, dest_h: int) -> bool:
+        """May a packet at cylinder ``c``, height ``h`` descend?
+
+        True when the cylinder's height bit already matches the
+        destination.  On the innermost cylinder this is never called
+        (packets eject by angle).
+        """
+        return self.height_bit(h, c) == self.height_bit(dest_h, c)
+
+    def descend(self, c: int, h: int, a: int) -> Coord:
+        """Normal path: one cylinder inward, same height, next angle."""
+        if c >= self.cylinders - 1:
+            raise ValueError("cannot descend from the innermost cylinder")
+        return (c + 1, h, (a + 1) % self.angles)
+
+    def deflect(self, c: int, h: int, a: int) -> Coord:
+        """Deflection path: same cylinder, next angle.
+
+        For bit-resolving cylinders the height bit owned by the cylinder
+        is flipped (an involution, so two deflections cancel); the
+        innermost cylinder keeps its height and simply circulates.
+        """
+        if c < self.levels:
+            h = h ^ (1 << (self.levels - 1 - c))
+        return (c, h, (a + 1) % self.angles)
+
+    def same_cylinder_predecessor(self, c: int, h: int, a: int) -> Coord:
+        """The node whose deflection path lands on ``(c, h, a)``.
+
+        Because :meth:`deflect` is an involution in height, this is the
+        deflection image at the previous angle.
+        """
+        prev_a = (a - 1) % self.angles
+        if c < self.levels:
+            return (c, h ^ (1 << (self.levels - 1 - c)), prev_a)
+        return (c, h, prev_a)
+
+    def outer_predecessor(self, c: int, h: int, a: int) -> Coord:
+        """The outer-cylinder node whose normal path lands on ``(c,h,a)``."""
+        if c == 0:
+            raise ValueError("cylinder 0 has no outer predecessor")
+        return (c - 1, h, (a - 1) % self.angles)
+
+    # -- iteration helpers -------------------------------------------------
+    def iter_nodes(self) -> Iterator[Coord]:
+        """All node coordinates, outermost cylinder first."""
+        for c in range(self.cylinders):
+            for h in range(self.height):
+                for a in range(self.angles):
+                    yield (c, h, a)
+
+    def min_hops(self, src_port: int, dest_port: int) -> int:
+        """Contention-free hop count from injection to ejection.
+
+        ``levels`` descents resolve the height (each also advances the
+        angle), then the packet circulates the innermost cylinder to the
+        destination angle.  Deflections forced by height-bit mismatches
+        along the way are included: a mismatch at cylinder ``c`` costs one
+        extra hop (deflect, then descend).
+        """
+        src_h, src_a = divmod(src_port, self.angles)
+        dest_h, dest_a = divmod(dest_port, self.angles)
+        hops = 0
+        h = src_h
+        for c in range(self.levels):
+            if not self.descent_eligible(c, h, dest_h):
+                hops += 1           # one deflection fixes the bit
+                h ^= 1 << (self.levels - 1 - c)
+            hops += 1               # the descent itself
+        # circulate innermost cylinder to the target angle
+        arrive_a = (src_a + hops) % self.angles
+        hops += (dest_a - arrive_a) % self.angles
+        return hops

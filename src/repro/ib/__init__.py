@@ -1,0 +1,28 @@
+"""InfiniBand + MPI baseline substrate.
+
+The paper's reference implementations run MPI (OpenMPI 1.8.3) over FDR
+InfiniBand on the same 32 nodes.  This package provides the simulated
+equivalent:
+
+* :mod:`repro.ib.fabric` — an FDR fat-tree fabric with static-routing
+  uplink contention (the effect identified in the paper's related-work
+  discussion, ref. [33] "Multistage switches are not crossbars");
+* :mod:`repro.ib.nic` — eager/rendezvous messaging over the fabric;
+* :mod:`repro.ib.mpi` — an mpi4py-flavoured API (send/recv/collectives)
+  used by every baseline benchmark;
+* :mod:`repro.ib.collectives` — the collective algorithms, implemented
+  over point-to-point exactly as an MPI library would.
+"""
+
+from repro.ib.config import IBConfig
+from repro.ib.fabric import IBFabric
+from repro.ib.mpi import ANY_SOURCE, ANY_TAG, MPIRuntime, MPIEndpoint
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "IBConfig",
+    "IBFabric",
+    "MPIEndpoint",
+    "MPIRuntime",
+]

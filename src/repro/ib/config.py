@@ -1,0 +1,70 @@
+"""Timing and sizing constants for the InfiniBand/MPI model.
+
+Anchors from the paper:
+
+* FDR InfiniBand: nominal peak 6.8 GB/s (Fig. 3 caption discussion);
+* the HPCC ping-pong reaches only ~72% of that peak at 256 Ki words,
+  attributed to packet-formation overheads — modelled as a payload
+  efficiency factor;
+* "Infiniband typically requires messages of several KBs length to reach
+  peak bandwidth" (§VIII);
+* MPI barrier latency grows markedly beyond 8 nodes (Fig. 4) — the knee
+  corresponds to traffic leaving the first-level switch, so the default
+  fat-tree leaf holds 8 nodes;
+* MPI-over-IB small-message costs are dominated by per-message software
+  overhead (the reason destination aggregation matters for MPI codes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class IBConfig:
+    """InfiniBand fabric + MPI software stack parameters."""
+
+    # -- fabric ---------------------------------------------------------------
+    #: Nominal peak link bandwidth (bytes/s), FDR 4x.
+    link_bw: float = 6.8e9
+    #: Fraction of the link usable for payload after packetisation,
+    #: headers, and PCIe crossing (sets the ~72%-of-peak plateau).
+    payload_efficiency: float = 0.74
+    #: Nodes per leaf (first-level) switch of the fat tree.
+    leaf_size: int = 8
+    #: Uplinks per leaf switch.  Slightly over-provisioned relative to
+    #: the leaf size so that static-routing collisions cost the ~40%
+    #: effective-bisection loss measured for real fat trees (Hoefler et
+    #: al., the paper's ref [33]) rather than a worst-case pile-up.
+    uplinks_per_leaf: int = 12
+    #: Per-switch-hop latency, seconds.
+    hop_latency_s: float = 0.10e-6
+    #: Wire/serialisation base latency per message, seconds.
+    wire_latency_s: float = 0.25e-6
+    #: Minimum per-message occupancy of a NIC channel (message-rate cap).
+    msg_gap_s: float = 0.10e-6
+
+    # -- MPI software stack -------------------------------------------------
+    #: Per-message software overhead on each side (o in LogGP terms).
+    sw_overhead_s: float = 0.9e-6
+    #: Messages at or below this payload size use the eager protocol.
+    eager_threshold_bytes: int = 1024
+    #: Extra one-way control cost of the rendezvous handshake (RTS+CTS).
+    rendezvous_handshake_s: float = 1.2e-6
+    #: Host memcpy bandwidth for eager receive copies (bytes/s).
+    memcpy_bw: float = 8.0e9
+    #: Extra per-stage software cost inside collective algorithms.
+    collective_stage_overhead_s: float = 0.4e-6
+
+    @property
+    def effective_bw(self) -> float:
+        """Payload bandwidth of one link after efficiency losses."""
+        return self.link_bw * self.payload_efficiency
+
+    def __post_init__(self) -> None:
+        if self.leaf_size < 1:
+            raise ValueError("leaf_size must be >= 1")
+        if self.uplinks_per_leaf < 1:
+            raise ValueError("uplinks_per_leaf must be >= 1")
+        if not 0 < self.payload_efficiency <= 1:
+            raise ValueError("payload_efficiency must be in (0, 1]")

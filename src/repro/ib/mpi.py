@@ -1,0 +1,278 @@
+"""An mpi4py-flavoured MPI layer over the simulated IB fabric.
+
+Each rank holds an :class:`MPIEndpoint` with blocking ``send``/``recv``
+(generator methods driven from the rank process), non-blocking
+``isend``/``irecv`` (returning joinable processes), and the usual
+collectives.  The eager/rendezvous protocol switch, receive-side copies,
+unexpected-message queueing, and per-message software overheads follow
+how a real MPI-over-IB stack behaves — these are precisely the costs the
+paper's irregular workloads suffer from.
+
+Payloads are real Python objects (usually NumPy arrays): the simulation
+moves actual data, so benchmark results can be validated numerically.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.ib.config import IBConfig
+from repro.ib.fabric import IBFabric
+from repro.sim.engine import Engine
+from repro.sim.events import Event
+from repro.sim.resources import Resource
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+_CONTROL_BYTES = 64          # RTS / CTS control message size
+_COLLECTIVE_TAG_BASE = 1 << 24
+
+
+def payload_nbytes(data: Any) -> int:
+    """Best-effort message size for a payload object."""
+    if isinstance(data, np.ndarray):
+        return data.nbytes
+    if isinstance(data, (bytes, bytearray)):
+        return len(data)
+    if isinstance(data, (int, float, np.integer, np.floating)) or data is None:
+        return 8
+    if isinstance(data, (tuple, list)):
+        return sum(payload_nbytes(x) for x in data) + 8
+    if isinstance(data, dict):
+        return sum(payload_nbytes(k) + payload_nbytes(v)
+                   for k, v in data.items()) + 8
+    return 64  # generic pickled-object floor
+
+
+@dataclass
+class _Arrival:
+    src: int
+    tag: int
+    kind: str            # "eager" or "rts"
+    payload: Any
+    nbytes: int
+    rts_id: int = -1
+
+
+class MPIEndpoint:
+    """Per-rank MPI handle."""
+
+    def __init__(self, runtime: "MPIRuntime", rank: int) -> None:
+        self.runtime = runtime
+        self.rank = rank
+        self.engine = runtime.engine
+        self.config = runtime.config
+        self.fabric = runtime.fabric
+        #: host CPU serialising per-message software overheads — two
+        #: concurrent isends cannot both burn the core at once
+        self._cpu = Resource(runtime.engine, capacity=1,
+                             name=f"mpi{rank}:cpu")
+        self._unexpected: List[_Arrival] = []
+        self._recv_waiters: List[Tuple[int, int, Event]] = []
+        self._cts_waiters: Dict[int, Event] = {}
+        self._data_waiters: Dict[int, Event] = {}
+        self._collective_seq = itertools.count()
+        self._verbs = None
+        self.fabric.attach(rank, self._on_fabric)
+
+    @property
+    def verbs(self):
+        """Lazily created verbs (RDMA) context sharing this HCA."""
+        if self._verbs is None:
+            from repro.ib.verbs import VerbsContext
+            self._verbs = VerbsContext(self)
+        return self._verbs
+
+    @property
+    def size(self) -> int:
+        return self.runtime.n_ranks
+
+    # -- fabric receive path -----------------------------------------------
+    def _on_fabric(self, src: int, kind: str, envelope: Any,
+                   nbytes: int) -> None:
+        if kind.startswith("rdma_"):
+            self.verbs._serve(kind, envelope)
+            return
+        if kind == "cts":
+            rts_id = envelope
+            self._cts_waiters.pop(rts_id).succeed(None)
+            return
+        if kind == "rdata":
+            rts_id, data = envelope
+            self._data_waiters.pop(rts_id).succeed(data)
+            return
+        tag, rts_id, data = envelope
+        arrival = _Arrival(src=src, tag=tag, kind=kind, payload=data,
+                           nbytes=nbytes, rts_id=rts_id)
+        for i, (wsrc, wtag, ev) in enumerate(self._recv_waiters):
+            if self._matches(arrival, wsrc, wtag):
+                del self._recv_waiters[i]
+                ev.succeed(arrival)
+                return
+        self._unexpected.append(arrival)
+
+    @staticmethod
+    def _matches(a: _Arrival, src: int, tag: int) -> bool:
+        return ((src == ANY_SOURCE or a.src == src)
+                and (tag == ANY_TAG or a.tag == tag))
+
+    def _overhead(self):
+        """Serialised per-message software cost (o in LogGP terms)."""
+        yield self._cpu.acquire()
+        try:
+            yield self.engine.timeout(self.config.sw_overhead_s)
+        finally:
+            self._cpu.release()
+
+    # -- point to point -----------------------------------------------------
+    def send(self, dest: int, data: Any, *, tag: int = 0,
+             nbytes: Optional[int] = None) -> Generator:
+        """Blocking send (eager: returns after local handoff; rendezvous:
+        returns once the data transfer completes)."""
+        if dest == self.rank:
+            # self-sends short-circuit through the unexpected queue
+            yield from self._overhead()
+            self._on_fabric(self.rank, "eager", (tag, -1, data),
+                            nbytes if nbytes is not None
+                            else payload_nbytes(data))
+            return
+        n = payload_nbytes(data) if nbytes is None else int(nbytes)
+        yield from self._overhead()
+        if n <= self.config.eager_threshold_bytes:
+            self.fabric.transfer(self.rank, dest, n + _CONTROL_BYTES,
+                                 kind="eager", payload=(tag, -1, data))
+            return
+        # rendezvous
+        rts_id = self.runtime.next_rts_id()
+        cts = self.engine.event(name=f"cts:{rts_id}")
+        self._cts_waiters[rts_id] = cts
+        self.fabric.transfer(self.rank, dest, _CONTROL_BYTES,
+                             kind="rts", payload=(tag, rts_id, None))
+        yield cts
+        yield self.engine.timeout(self.config.rendezvous_handshake_s)
+        done = self.fabric.transfer(self.rank, dest, n, kind="rdata",
+                                    payload=(rts_id, data))
+        yield done
+
+    def recv(self, src: int = ANY_SOURCE, *, tag: int = ANY_TAG
+             ) -> Generator:
+        """Blocking receive; generator value is ``(data, src, tag)``."""
+        yield from self._overhead()
+        arrival = self._match_or_wait(src, tag)
+        if isinstance(arrival, Event):
+            arrival = yield arrival
+        if arrival.kind == "eager":
+            if arrival.nbytes:
+                yield self.engine.timeout(
+                    arrival.nbytes / self.config.memcpy_bw)
+            return arrival.payload, arrival.src, arrival.tag
+        # rendezvous: grant the sender and wait for the bulk data
+        data_ev = self.engine.event(name=f"rdata:{arrival.rts_id}")
+        self._data_waiters[arrival.rts_id] = data_ev
+        self.fabric.transfer(self.rank, arrival.src, _CONTROL_BYTES,
+                             kind="cts", payload=arrival.rts_id)
+        data = yield data_ev
+        return data, arrival.src, arrival.tag
+
+    def _match_or_wait(self, src: int, tag: int):
+        for i, a in enumerate(self._unexpected):
+            if self._matches(a, src, tag):
+                del self._unexpected[i]
+                return a
+        ev = self.engine.event(name=f"recv@{self.rank}")
+        self._recv_waiters.append((src, tag, ev))
+        return ev
+
+    def iprobe(self, src: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """Non-blocking check for a matching pending message."""
+        return any(self._matches(a, src, tag) for a in self._unexpected)
+
+    def isend(self, dest: int, data: Any, *, tag: int = 0,
+              nbytes: Optional[int] = None):
+        """Non-blocking send; returns a joinable process event."""
+        return self.engine.process(
+            self.send(dest, data, tag=tag, nbytes=nbytes),
+            name=f"isend {self.rank}->{dest}")
+
+    def irecv(self, src: int = ANY_SOURCE, *, tag: int = ANY_TAG):
+        """Non-blocking receive; join it to obtain ``(data, src, tag)``."""
+        return self.engine.process(self.recv(src, tag=tag),
+                                   name=f"irecv @{self.rank}")
+
+    def sendrecv(self, dest: int, data: Any, src: int = ANY_SOURCE, *,
+                 sendtag: int = 0, recvtag: int = ANY_TAG,
+                 nbytes: Optional[int] = None) -> Generator:
+        """Simultaneous exchange (deadlock-free pairwise step)."""
+        s = self.isend(dest, data, tag=sendtag, nbytes=nbytes)
+        r = self.irecv(src, tag=recvtag)
+        got = yield r
+        yield s
+        return got
+
+    # -- collectives ---------------------------------------------------------
+    def _ctag(self) -> int:
+        """Fresh collective-phase tag (all ranks call collectives in the
+        same order, so sequence numbers agree)."""
+        return _COLLECTIVE_TAG_BASE + next(self._collective_seq)
+
+    def barrier(self) -> Generator:
+        from repro.ib import collectives
+        yield from collectives.barrier(self)
+
+    def bcast(self, data: Any, root: int = 0) -> Generator:
+        from repro.ib import collectives
+        return (yield from collectives.bcast(self, data, root))
+
+    def reduce(self, data: Any, op: Callable, root: int = 0) -> Generator:
+        from repro.ib import collectives
+        return (yield from collectives.reduce(self, data, op, root))
+
+    def allreduce(self, data: Any, op: Callable) -> Generator:
+        from repro.ib import collectives
+        return (yield from collectives.allreduce(self, data, op))
+
+    def gather(self, data: Any, root: int = 0) -> Generator:
+        from repro.ib import collectives
+        return (yield from collectives.gather(self, data, root))
+
+    def allgather(self, data: Any) -> Generator:
+        from repro.ib import collectives
+        return (yield from collectives.allgather(self, data))
+
+    def scatter(self, chunks: Optional[List[Any]], root: int = 0
+                ) -> Generator:
+        from repro.ib import collectives
+        return (yield from collectives.scatter(self, chunks, root))
+
+    def alltoall(self, chunks: List[Any]) -> Generator:
+        from repro.ib import collectives
+        return (yield from collectives.alltoall(self, chunks))
+
+    def alltoallv(self, chunks: List[Any]) -> Generator:
+        from repro.ib import collectives
+        return (yield from collectives.alltoall(self, chunks))
+
+
+class MPIRuntime:
+    """Owns the fabric and the per-rank endpoints."""
+
+    def __init__(self, engine: Engine, config: IBConfig, n_ranks: int,
+                 contention: bool = True) -> None:
+        self.engine = engine
+        self.config = config
+        self.n_ranks = n_ranks
+        self.fabric = IBFabric(engine, config, n_ranks,
+                               contention=contention)
+        self.endpoints = [MPIEndpoint(self, r) for r in range(n_ranks)]
+        self._rts_counter = itertools.count()
+
+    def next_rts_id(self) -> int:
+        return next(self._rts_counter)
+
+    def endpoint(self, rank: int) -> MPIEndpoint:
+        return self.endpoints[rank]

@@ -1,0 +1,37 @@
+"""Benchmark kernels (paper §V–VI), each implemented for both fabrics.
+
+* :mod:`repro.kernels.pingpong` — fixed-length round-trip messaging in
+  the paper's four variants (DWr/NoCached, DWr/Cached, DMA/Cached, MPI);
+* :mod:`repro.kernels.barrier_bench` — global barrier latency at scale;
+* :mod:`repro.kernels.gups` — Giga-updates-per-second with the HPCC
+  1024-update aggregation limit;
+* :mod:`repro.kernels.fft1d` — distributed 1-D FFT (four-step algorithm);
+* :mod:`repro.kernels.fft2d` — distributed 2-D FFT;
+* :mod:`repro.kernels.transpose` — the shared transpose primitive;
+* :mod:`repro.kernels.kronecker` — Graph500 Kronecker graph generator;
+* :mod:`repro.kernels.bfs` — level-synchronous distributed BFS
+  (top-down and direction-optimising);
+* :mod:`repro.kernels.spmv` — distributed sparse matrix-vector
+  multiplication (power iteration).
+"""
+
+from repro.kernels.pingpong import run_pingpong, PINGPONG_MODES
+from repro.kernels.barrier_bench import run_barrier_bench
+from repro.kernels.gups import run_gups
+from repro.kernels.fft1d import run_fft1d
+from repro.kernels.fft2d import run_fft2d
+from repro.kernels.kronecker import kronecker_edges
+from repro.kernels.spmv import run_spmv
+from repro.kernels.bfs import run_bfs
+
+__all__ = [
+    "PINGPONG_MODES",
+    "kronecker_edges",
+    "run_barrier_bench",
+    "run_bfs",
+    "run_fft1d",
+    "run_fft2d",
+    "run_gups",
+    "run_pingpong",
+    "run_spmv",
+]

@@ -1,0 +1,57 @@
+"""Global-barrier latency micro-benchmark (paper §V, Fig. 4).
+
+Three implementations match Fig. 4's series:
+
+* ``dv``      — the dvapi hardware-barrier intrinsic (2 reserved group
+  counters, VIC-driven release broadcast);
+* ``dv_fast`` — the paper's in-house all-to-all "Fast Barrier";
+* ``mpi``     — MPI_Barrier over InfiniBand (Bruck dissemination).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.cluster import ClusterSpec, run_spmd
+from repro.core.context import RankContext
+
+BARRIER_IMPLS = ("dv", "dv_fast", "mpi")
+
+
+def run_barrier_bench(spec: ClusterSpec, impl: str,
+                      iters: int = 16) -> Dict[str, float]:
+    """Measure mean barrier latency.
+
+    Warm-up with one barrier, then time ``iters`` back-to-back barriers;
+    the reported latency is the per-barrier mean of the slowest rank
+    (every rank participates in every barrier, so the slowest rank's
+    clock is the honest one).
+    """
+    if impl not in BARRIER_IMPLS:
+        raise ValueError(f"impl must be one of {BARRIER_IMPLS}")
+    if iters < 1:
+        raise ValueError("iters must be >= 1")
+
+    def program(ctx: RankContext):
+        def one():
+            if impl == "dv":
+                return ctx.dv.barrier()
+            if impl == "dv_fast":
+                return ctx.dv.fast_barrier()
+            return ctx.mpi.barrier()
+
+        yield from one()          # warm-up
+        ctx.mark("t0")
+        for _ in range(iters):
+            yield from one()
+        return ctx.since("t0") / iters
+
+    fabric = "mpi" if impl == "mpi" else "dv"
+    res = run_spmd(spec, program, fabric)
+    worst = max(res.values)
+    return {
+        "impl": impl,
+        "n_nodes": spec.n_nodes,
+        "latency_s": worst,
+        "latency_us": worst * 1e6,
+    }

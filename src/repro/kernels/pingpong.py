@@ -1,0 +1,151 @@
+"""Ping-pong messaging micro-benchmark (paper §V, Fig. 3).
+
+Two nodes bounce a fixed-length message back and forth; the reported
+bandwidth is the payload volume divided by the one-way time, including
+the receiver's copy of the message from the network adapter into host
+memory (as the paper requires).
+
+Four variants match Fig. 3's series:
+
+* ``dwr_nocached`` — header and payload written from host memory via
+  programmed I/O;
+* ``dwr_cached``  — destination headers pre-cached in the sending VIC's
+  DV memory, halving the PCIe traffic per packet;
+* ``dma_cached``  — DMA from host memory with cached headers, receive
+  side drained by overlapped DMA;
+* ``mpi``         — MPI send/recv over InfiniBand.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator
+
+import numpy as np
+
+from repro.core.cluster import ClusterSpec, run_spmd
+from repro.core.context import RankContext
+from repro.core.metrics import bandwidth_gbs
+
+PINGPONG_MODES = ("dwr_nocached", "dwr_cached", "dma_cached", "mpi")
+
+_CTR_PING = 10   # counter counting rank0 -> rank1 words
+_CTR_PONG = 11   # counter counting rank1 -> rank0 words
+
+#: payloads at or below this use a PIO read-out; larger ones use the
+#: multi-buffered DMA drain
+_PIO_READOUT_WORDS = 64
+#: DMA drain double-buffer chunk (words): with in/out DMA overlapped
+#: (SS III), only the final chunk's drain is exposed on the critical path
+_DRAIN_CHUNK_WORDS = 4096
+
+
+def _recv_copy(api, n_words: int):
+    """Copy a received message from the VIC into host memory.
+
+    Mirrors what the paper's benchmark does: small messages are pulled
+    with one programmed-I/O read; large ones are drained by overlapped,
+    multi-buffered DMA, so only the last buffer's drain shows up after
+    the group counter hits zero.
+    """
+    if n_words <= _PIO_READOUT_WORDS:
+        yield from api.vic.pcie.direct_read(n_words * 8)
+    else:
+        residue = min(n_words, _DRAIN_CHUNK_WORDS)
+        yield from api.vic.pcie.dma_read(residue * 8)
+    api.vic.memory.read_range(0, n_words)  # functional copy, no charge
+
+
+def _dv_pingpong(ctx: RankContext, n_words: int, iters: int,
+                 cached: bool, via: str) -> Generator:
+    """DV side: rank 0 sends, rank 1 echoes; both copy received payloads
+    into host memory before replying."""
+    api = ctx.dv
+    vals = np.arange(n_words, dtype=np.uint64) + ctx.rank
+    addrs = np.arange(n_words)
+    if cached:
+        yield from api.precache_headers(n_words)
+    if ctx.rank == 0:
+        yield from api.set_counter(_CTR_PONG, n_words)
+    elif ctx.rank == 1:
+        yield from api.set_counter(_CTR_PING, n_words)
+    yield from ctx.barrier()
+    ctx.mark("t0")
+    for _ in range(iters):
+        if ctx.rank == 0:
+            yield from api.send_words(1, addrs, vals, counter=_CTR_PING,
+                                      cached_headers=cached, via=via)
+            yield from api.wait_counter_zero(_CTR_PONG)
+            yield from api.set_counter(_CTR_PONG, n_words)
+            # copy the echoed message from the VIC into host memory
+            yield from _recv_copy(api, n_words)
+        elif ctx.rank == 1:
+            yield from api.wait_counter_zero(_CTR_PING)
+            yield from api.set_counter(_CTR_PING, n_words)
+            yield from _recv_copy(api, n_words)
+            yield from api.send_words(0, addrs, vals, counter=_CTR_PONG,
+                                      cached_headers=cached, via=via)
+    if ctx.rank > 1:
+        return None
+    if ctx.rank == 1:
+        # rank 1 finishes after its last send's local completion; rank 0
+        # holds the authoritative round-trip clock
+        return None
+    elapsed = ctx.since("t0")
+    return elapsed
+
+
+def _mpi_pingpong(ctx: RankContext, n_words: int, iters: int) -> Generator:
+    mpi = ctx.mpi
+    nbytes = n_words * 8
+    msg = np.arange(n_words, dtype=np.uint64)
+    yield from mpi.barrier()
+    ctx.mark("t0")
+    for _ in range(iters):
+        if ctx.rank == 0:
+            yield from mpi.send(1, msg, nbytes=nbytes)
+            yield from mpi.recv(1)
+        elif ctx.rank == 1:
+            yield from mpi.recv(0)
+            yield from mpi.send(0, msg, nbytes=nbytes)
+    if ctx.rank != 0:
+        return None
+    return ctx.since("t0")
+
+
+def run_pingpong(spec: ClusterSpec, mode: str, n_words: int,
+                 iters: int = 8) -> Dict[str, float]:
+    """Run one ping-pong configuration; returns bandwidth and timing.
+
+    Returns a dict with ``bandwidth`` (bytes/s, one-way payload rate),
+    ``bandwidth_gbs``, and ``one_way_s``.
+    """
+    if mode not in PINGPONG_MODES:
+        raise ValueError(f"mode must be one of {PINGPONG_MODES}")
+    if n_words < 1:
+        raise ValueError("n_words must be >= 1")
+    if spec.n_nodes < 2:
+        raise ValueError("ping-pong needs at least 2 nodes")
+
+    if mode == "mpi":
+        def program(ctx):
+            return (yield from _mpi_pingpong(ctx, n_words, iters))
+        res = run_spmd(spec, program, "mpi")
+    else:
+        cached = mode != "dwr_nocached"
+        via = "dma" if mode == "dma_cached" else "direct"
+
+        def program(ctx):
+            return (yield from _dv_pingpong(ctx, n_words, iters, cached,
+                                            via))
+        res = run_spmd(spec, program, "dv")
+
+    elapsed = res.values[0]
+    one_way = elapsed / (2 * iters)
+    payload = n_words * 8
+    return {
+        "mode": mode,
+        "n_words": n_words,
+        "one_way_s": one_way,
+        "bandwidth": payload / one_way,
+        "bandwidth_gbs": bandwidth_gbs(payload, one_way),
+    }

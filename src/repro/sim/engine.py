@@ -1,0 +1,138 @@
+"""The discrete-event engine: an event heap and a run loop.
+
+The engine owns simulated time.  Everything that happens in a simulation is
+an :class:`~repro.sim.events.Event` popped off a priority heap keyed by
+``(time, sequence)``; the sequence number guarantees FIFO ordering among
+same-time events, which is what makes runs bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+
+
+class SimulationError(RuntimeError):
+    """Raised for engine misuse (e.g. running a finished simulation)."""
+
+
+class Engine:
+    """Deterministic discrete-event scheduler.
+
+    Parameters
+    ----------
+    start:
+        Initial simulated time in seconds (default ``0.0``).
+
+    Notes
+    -----
+    The engine is single-threaded and re-entrant-safe in the sense that
+    callbacks may create and trigger further events; they are appended to
+    the heap and processed in order.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._seq = 0
+        self._processed_count = 0
+
+    # -- time --------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events processed so far (diagnostics)."""
+        return self._processed_count
+
+    # -- event factories -----------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a fresh untriggered :class:`Event`."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value=value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Spawn a :class:`Process` driving ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events) -> AllOf:
+        """Barrier condition over ``events``."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """Race condition over ``events``."""
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _enqueue(self, event: Event, delay: float) -> None:
+        """Insert a triggered event into the heap ``delay`` seconds ahead."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        t, _seq, event = heapq.heappop(self._queue)
+        if t < self._now:  # pragma: no cover - heap invariant guard
+            raise SimulationError("event scheduled in the past")
+        self._now = t
+        self._processed_count += 1
+        event._process()
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """Run until the queue drains, ``until`` is reached, or
+        ``max_events`` have been processed.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would occur strictly after this time;
+            the clock is advanced to ``until``.
+        max_events:
+            Safety valve for runaway simulations; raises
+            :class:`SimulationError` when exhausted.
+        """
+        n = 0
+        while self._queue:
+            if until is not None and self.peek() > until:
+                self._now = until
+                return
+            if max_events is not None and n >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} "
+                    f"(simulated time {self._now:g}s)")
+            self.step()
+            n += 1
+        if until is not None and until > self._now:
+            self._now = until
+
+    def run_process(self, generator: Generator, name: str = "",
+                    until: Optional[float] = None) -> Any:
+        """Convenience: spawn ``generator``, run to completion, return its
+        value.  Raises the process's exception on failure."""
+        proc = self.process(generator, name=name)
+        self.run(until=until)
+        if not proc.triggered:
+            raise SimulationError(
+                f"process {name or generator!r} did not finish "
+                f"(deadlock or until= too small)")
+        if not proc.ok:
+            raise proc.value
+        return proc.value

@@ -1,0 +1,111 @@
+"""FIFO item store — the model for every hardware queue in the system.
+
+A :class:`Store` holds opaque items.  ``put`` and ``get`` return events;
+``get`` on an empty store blocks the caller until an item arrives.  With a
+finite ``capacity``, ``put`` blocks while the store is full (used to model
+back-pressure, e.g. NIC send queues).
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import TYPE_CHECKING, Any, Deque, List
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+
+class Store:
+    """Blocking FIFO queue of items.
+
+    Parameters
+    ----------
+    engine:
+        Owning engine.
+    capacity:
+        Maximum number of buffered items; ``float('inf')`` (default) for
+        an unbounded queue.
+    name:
+        Label used in diagnostics.
+    """
+
+    def __init__(self, engine: "Engine", capacity: float = float("inf"),
+                 name: str = "") -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self.items: Deque[Any] = collections.deque()
+        self._getters: Deque[Event] = collections.deque()
+        self._putters: Deque[tuple[Event, Any]] = collections.deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.items
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.items) >= self.capacity
+
+    # -- operations --------------------------------------------------------
+    def put(self, item: Any) -> Event:
+        """Enqueue ``item``; returns an event that succeeds on acceptance."""
+        ev = Event(self.engine, name=f"{self.name}:put")
+        if self._getters:
+            # Hand the item straight to the longest-waiting getter.
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            ev.succeed(item)
+        elif not self.is_full:
+            self.items.append(item)
+            ev.succeed(item)
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False instead of queueing when full."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            return True
+        if self.is_full:
+            return False
+        self.items.append(item)
+        return True
+
+    def get(self) -> Event:
+        """Dequeue an item; returns an event carrying it."""
+        ev = Event(self.engine, name=f"{self.name}:get")
+        if self.items:
+            ev.succeed(self.items.popleft())
+            self._admit_putters()
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get; returns ``(found, item)``."""
+        if self.items:
+            item = self.items.popleft()
+            self._admit_putters()
+            return True, item
+        return False, None
+
+    def drain(self) -> List[Any]:
+        """Remove and return all buffered items at once (poll-style)."""
+        out = list(self.items)
+        self.items.clear()
+        self._admit_putters()
+        return out
+
+    def _admit_putters(self) -> None:
+        while self._putters and not self.is_full:
+            ev, item = self._putters.popleft()
+            self.items.append(item)
+            ev.succeed(item)

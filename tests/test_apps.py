@@ -1,0 +1,268 @@
+"""Tests for the three applications: numerical validation on both
+fabrics, invariants, and the Fig. 9 ordering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import run_heat, run_snap, run_vorticity
+from repro.apps.heat import (initial_field, process_grid, step_serial,
+                             _neighbours, _coords)
+from repro.apps.snap import angle_quadrature, serial_sweep, sweep_slab
+from repro.apps.vorticity import (dealias_mask, initial_vorticity_hat,
+                                  invariants, nonlinear_term_hat,
+                                  step_serial as vort_step)
+from repro.core import ClusterSpec
+
+
+# ------------------------------------------------------------------ heat ---
+
+def test_process_grid_factorisations():
+    assert sorted(process_grid(8)) == [2, 2, 2]
+    assert sorted(process_grid(32)) == [2, 4, 4]
+    assert sorted(process_grid(1)) == [1, 1, 1]
+    assert sorted(process_grid(7)) == [1, 1, 7]
+    for p in (2, 4, 6, 12, 16, 24):
+        g = process_grid(p)
+        assert g[0] * g[1] * g[2] == p
+
+
+def test_neighbours_are_mutual():
+    grid = (2, 2, 2)
+    for rank in range(8):
+        for i, nb in enumerate(_neighbours(rank, grid)):
+            opp = [1, 0, 3, 2, 5, 4][i]
+            assert _neighbours(nb, grid)[opp] == rank
+
+
+def test_heat_serial_step_conserves_mean():
+    u = initial_field(8) + 3.0
+    u2 = step_serial(u, 0.1)
+    assert np.mean(u2) == pytest.approx(np.mean(u))
+
+
+def test_heat_sine_mode_decays():
+    u = initial_field(16)
+    amp0 = np.abs(u).max()
+    for _ in range(20):
+        u = step_serial(u, 0.1)
+    assert np.abs(u).max() < amp0
+
+
+@pytest.mark.parametrize("fabric", ["dv", "mpi"])
+@pytest.mark.parametrize("n_nodes", [1, 2, 4, 8])
+def test_heat_matches_serial(fabric, n_nodes):
+    spec = ClusterSpec(n_nodes=n_nodes)
+    r = run_heat(spec, fabric, n=16, steps=3, validate=True)
+    assert r["valid"], r["max_error"]
+
+
+def test_heat_stability_guard():
+    with pytest.raises(ValueError):
+        run_heat(ClusterSpec(n_nodes=2), "dv", n=16, r=0.5)
+
+
+def test_heat_divisibility_guard():
+    with pytest.raises(ValueError):
+        run_heat(ClusterSpec(n_nodes=8), "dv", n=15)
+
+
+def test_heat_residual_agrees_across_fabrics():
+    spec = ClusterSpec(n_nodes=4)
+    out = {}
+    for fabric in ("dv", "mpi"):
+        res = run_heat(spec, fabric, n=16, steps=3, validate=True)
+        assert res["valid"]
+    # validation already compares full fields against the same serial
+    # reference, so the two fabrics agree transitively
+
+
+# ------------------------------------------------------------------ snap ---
+
+def test_quadrature_weights_sum_to_one():
+    q = angle_quadrature(16)
+    assert q[:, 1].sum() == pytest.approx(1.0)
+
+
+def test_sweep_slab_chunks_compose():
+    """Sweeping angles in chunks must equal one monolithic sweep."""
+    rng = np.random.default_rng(0)
+    source = rng.random((5, 4, 4))
+    quad = angle_quadrature(8)
+    mu, w = quad[:, 0], quad[:, 1]
+    psi0 = np.zeros((8, 4, 4))
+    _, phi_mono = sweep_slab(psi0, source, mu, w, 1.0, 0.1, True)
+    phi_chunks = np.zeros_like(source)
+    for c0 in range(0, 8, 2):
+        _, contrib = sweep_slab(psi0[c0:c0 + 2], source, mu[c0:c0 + 2],
+                                w[c0:c0 + 2], 1.0, 0.1, True)
+        phi_chunks += contrib
+    assert np.allclose(phi_mono, phi_chunks)
+
+
+def test_serial_sweep_positive_flux():
+    rng = np.random.default_rng(1)
+    source = rng.random((6, 4, 4))
+    phi = serial_sweep(source, angle_quadrature(4), 1.0, 0.1)
+    assert np.all(phi >= 0)
+
+
+@pytest.mark.parametrize("fabric", ["dv", "mpi"])
+@pytest.mark.parametrize("n_nodes", [1, 2, 4])
+def test_snap_matches_serial(fabric, n_nodes):
+    spec = ClusterSpec(n_nodes=n_nodes)
+    r = run_snap(spec, fabric, nx=6, ny_per_rank=3, nz=6, n_angles=8,
+                 chunk=2, validate=True)
+    assert r["valid"], r["max_error"]
+
+
+def test_snap_odd_chunking():
+    """Angle counts not divisible by the chunk still work."""
+    spec = ClusterSpec(n_nodes=2)
+    r = run_snap(spec, "dv", nx=4, ny_per_rank=2, nz=4, n_angles=7,
+                 chunk=3, validate=True)
+    assert r["valid"]
+
+
+# ------------------------------------------------------------- vorticity ---
+
+def test_dealias_mask_two_thirds():
+    m = dealias_mask(12)
+    assert m[0] and m[4] and not m[5] and not m[6]
+
+
+def test_vorticity_serial_invariants_conserved():
+    w = initial_vorticity_hat(32)
+    e0, z0 = invariants(w)
+    for _ in range(10):
+        w = vort_step(w, 1e-3)
+    e1, z1 = invariants(w)
+    assert abs(e1 - e0) / e0 < 1e-4
+    assert abs(z1 - z0) / z0 < 1e-3
+
+
+def test_nonlinear_term_dealiased():
+    w = initial_vorticity_hat(24)
+    rhs = nonlinear_term_hat(w)
+    m = dealias_mask(24)
+    assert np.all(rhs[~m, :] == 0)
+    assert np.all(rhs[:, ~m] == 0)
+
+
+@pytest.mark.parametrize("fabric", ["dv", "mpi"])
+@pytest.mark.parametrize("n_nodes", [1, 2, 4])
+def test_vorticity_matches_serial(fabric, n_nodes):
+    spec = ClusterSpec(n_nodes=n_nodes)
+    r = run_vorticity(spec, fabric, n=16, steps=2, validate=True)
+    assert r["valid"], r.get("max_rel_error")
+
+
+def test_vorticity_divisibility_guard():
+    with pytest.raises(ValueError):
+        run_vorticity(ClusterSpec(n_nodes=3), "dv", n=16)
+
+
+@given(st.integers(0, 3), st.sampled_from([16, 32]))
+@settings(max_examples=8, deadline=None)
+def test_property_vorticity_parallel_equals_serial(steps, n):
+    """Distributed stepper equals the serial one for random step counts
+    and grids, on both fabrics."""
+    spec = ClusterSpec(n_nodes=4)
+    for fabric in ("dv", "mpi"):
+        r = run_vorticity(spec, fabric, n=n, steps=steps, validate=True)
+        assert r["valid"]
+
+
+# -------------------------------------------------------------- ordering ---
+
+def test_fig9_ordering_in_miniature():
+    """Restructured apps (heat) must gain more than the best-effort
+    port (snap) even on a small cluster."""
+    spec = ClusterSpec(n_nodes=8)
+    t = {}
+    for name, fn, kw in (
+        ("snap", run_snap, dict(nx=8, ny_per_rank=4, nz=8, n_angles=16,
+                                chunk=4)),
+        ("heat", run_heat, dict(n=24, steps=6)),
+    ):
+        times = {fab: fn(spec, fab, **kw)["elapsed_s"]
+                 for fab in ("mpi", "dv")}
+        t[name] = times["mpi"] / times["dv"]
+    assert t["heat"] > t["snap"]
+
+
+# ------------------------------------------------------ source iteration ---
+
+def test_snap_source_iteration_converges_and_validates():
+    from repro.apps.snap import run_snap_iterative
+    spec = ClusterSpec(n_nodes=4)
+    for fabric in ("mpi", "dv"):
+        r = run_snap_iterative(spec, fabric, scattering=0.5, tol=1e-7,
+                               max_iters=60, validate=True)
+        assert r["converged"], r["residual"]
+        assert r["valid"], r["max_error"]
+        assert r["iterations"] < 60
+
+
+def test_snap_source_iteration_rejects_supercritical():
+    from repro.apps.snap import run_snap_iterative
+    with pytest.raises(ValueError):
+        run_snap_iterative(ClusterSpec(n_nodes=2), "dv", scattering=1.0)
+
+
+def test_snap_source_iteration_fewer_iters_with_less_scattering():
+    from repro.apps.snap import run_snap_iterative
+    spec = ClusterSpec(n_nodes=2)
+    weak = run_snap_iterative(spec, "mpi", scattering=0.2, tol=1e-7,
+                              max_iters=80)
+    strong = run_snap_iterative(spec, "mpi", scattering=0.8, tol=1e-7,
+                                max_iters=80)
+    assert weak["iterations"] < strong["iterations"]
+
+
+def test_energy_spectrum_sums_to_total_energy():
+    from repro.apps.vorticity import energy_spectrum
+    w = initial_vorticity_hat(32)
+    e_total, _ = invariants(w)
+    k, E = energy_spectrum(w)
+    assert E.shape == k.shape
+    assert np.all(E >= 0)
+    assert E.sum() == pytest.approx(e_total, rel=0.05)
+
+
+def test_energy_spectrum_concentrated_at_large_scales():
+    from repro.apps.vorticity import energy_spectrum
+    w = initial_vorticity_hat(64)
+    k, E = energy_spectrum(w)
+    # the shear-layer IC lives at low wavenumbers
+    assert E[:8].sum() > 0.9 * E.sum()
+
+
+# -------------------------------------------------------------- viscosity ---
+
+def test_viscous_flow_dissipates_enstrophy():
+    """With viscosity the solver becomes 2-D Navier-Stokes: enstrophy
+    must decay monotonically (it is conserved in the inviscid case)."""
+    from repro.apps.vorticity import step_serial as vstep
+    w = initial_vorticity_hat(32)
+    _, z_prev = invariants(w)
+    for _ in range(5):
+        w = vstep(w, 1e-3, viscosity=5e-2)
+        _, z = invariants(w)
+        assert z < z_prev
+        z_prev = z
+
+
+@pytest.mark.parametrize("fabric", ["dv", "mpi"])
+def test_viscous_distributed_matches_serial(fabric):
+    spec = ClusterSpec(n_nodes=4)
+    r = run_vorticity(spec, fabric, n=16, steps=2, viscosity=1e-2,
+                      validate=True)
+    assert r["valid"]
+
+
+def test_negative_viscosity_rejected():
+    with pytest.raises(ValueError):
+        run_vorticity(ClusterSpec(n_nodes=2), "dv", n=16,
+                      viscosity=-1.0)

@@ -1,0 +1,194 @@
+"""Tests for the KBA-decomposed SNAP proxy and the CounterPipe it
+runs on."""
+
+import numpy as np
+import pytest
+
+from repro.apps.pipeline import CounterPipe
+from repro.apps.snap import angle_quadrature
+from repro.apps.snap_kba import (OCTANTS, _orient, kba_grid,
+                                 run_snap_kba, serial_sweep_kba,
+                                 sweep_block)
+from repro.core import ClusterSpec, run_spmd
+
+
+# ----------------------------------------------------------------- grid ---
+
+def test_kba_grid_near_square():
+    assert kba_grid(1) == (1, 1)
+    assert kba_grid(4) == (2, 2)
+    assert kba_grid(8) == (4, 2)
+    assert kba_grid(32) == (8, 4)
+    assert kba_grid(7) == (7, 1)
+    for p in (2, 6, 12, 16, 24):
+        py, pz = kba_grid(p)
+        assert py * pz == p
+
+
+def test_octants_complete():
+    assert len(OCTANTS) == 8
+    assert len(set(OCTANTS)) == 8
+
+
+def test_orient_involution():
+    rng = np.random.default_rng(0)
+    a = rng.random((3, 4, 5))
+    for s in OCTANTS:
+        assert np.array_equal(_orient(_orient(a, *s), *s), a)
+
+
+# ------------------------------------------------------------ sweep math ---
+
+def test_sweep_block_positive_flux():
+    rng = np.random.default_rng(1)
+    src = rng.random((4, 5, 6))
+    quad = angle_quadrature(4)
+    psi_y = np.zeros((4, 4, 6))
+    psi_z = np.zeros((4, 4, 5))
+    phi, py, pz = sweep_block(psi_y, psi_z, src, quad[:, 0], 0.5, 0.5,
+                              quad[:, 1], 1.0, (0.1, 0.1, 0.1))
+    assert np.all(phi >= 0)
+    assert py.shape == (4, 4, 6) and pz.shape == (4, 4, 5)
+
+
+def test_sweep_block_chunks_compose():
+    """Chunked angle sweeps must sum to the monolithic sweep."""
+    rng = np.random.default_rng(2)
+    src = rng.random((3, 4, 4))
+    quad = angle_quadrature(6)
+    kw = dict(eta=0.5, xi=0.5, sigma=1.0, d=(0.1, 0.1, 0.1))
+    zeros = lambda n: (np.zeros((n, 3, 4)), np.zeros((n, 3, 4)))
+    py6, pz6 = zeros(6)
+    phi_all, _, _ = sweep_block(py6, pz6, src, quad[:, 0],
+                                weights=quad[:, 1], **kw)
+    phi_sum = np.zeros_like(src)
+    for c0 in range(0, 6, 2):
+        pyc, pzc = zeros(2)
+        contrib, _, _ = sweep_block(pyc, pzc, src,
+                                    quad[c0:c0 + 2, 0],
+                                    weights=quad[c0:c0 + 2, 1], **kw)
+        phi_sum += contrib
+    assert np.allclose(phi_all, phi_sum)
+
+
+def test_block_splitting_composes():
+    """Sweeping two y-halves chained by their boundary faces equals one
+    full sweep — the property the distributed pipeline relies on."""
+    rng = np.random.default_rng(3)
+    src = rng.random((3, 6, 4))
+    quad = angle_quadrature(3)
+    kw = dict(eta=0.5, xi=0.5, sigma=1.0, d=(0.1, 0.1, 0.1))
+    phi_full, _, _ = sweep_block(
+        np.zeros((3, 3, 4)), np.zeros((3, 3, 6)), src, quad[:, 0],
+        weights=quad[:, 1], **kw)
+    phi_a, py_a, _ = sweep_block(
+        np.zeros((3, 3, 4)), np.zeros((3, 3, 3)), src[:, :3],
+        quad[:, 0], weights=quad[:, 1], **kw)
+    phi_b, _, _ = sweep_block(
+        py_a, np.zeros((3, 3, 3)), src[:, 3:], quad[:, 0],
+        weights=quad[:, 1], **kw)
+    assert np.allclose(np.concatenate([phi_a, phi_b], axis=1), phi_full)
+
+
+# ------------------------------------------------------------ end to end ---
+
+@pytest.mark.parametrize("fabric", ["dv", "mpi"])
+@pytest.mark.parametrize("n_nodes", [1, 2, 4, 6])
+def test_kba_matches_serial(fabric, n_nodes):
+    spec = ClusterSpec(n_nodes=n_nodes)
+    r = run_snap_kba(spec, fabric, nx=4, ny=6, nz=6, n_angles=4,
+                     chunk=2, validate=True)
+    assert r["valid"], r["max_error"]
+
+
+def test_kba_divisibility_guard():
+    with pytest.raises(ValueError):
+        run_snap_kba(ClusterSpec(n_nodes=4), "dv", ny=7, nz=8)
+
+
+def test_kba_dv_faster_at_scale():
+    spec = ClusterSpec(n_nodes=16)
+    t = {f: run_snap_kba(spec, f, nx=8, ny=8, nz=8, n_angles=8,
+                         chunk=2)["elapsed_s"] for f in ("mpi", "dv")}
+    assert t["dv"] < t["mpi"]
+
+
+# ------------------------------------------------------------ CounterPipe ---
+
+def test_counter_pipe_stream():
+    """A 3-rank chain forwards an ordered stream intact."""
+    spec = ClusterSpec(n_nodes=3)
+    sizes = [4, 4, 4, 4, 4]
+
+    def program(ctx):
+        up = ctx.rank - 1 if ctx.rank > 0 else None
+        dn = ctx.rank + 1 if ctx.rank < 2 else None
+        pipe = CounterPipe(ctx, up, dn, sizes, ctr_base=20,
+                           region_base=0)
+        yield from pipe.setup()
+        yield from ctx.barrier()
+        got = []
+        for i in range(len(sizes)):
+            if up is None:
+                msg = np.full(sizes[i], i * 10 + 1, np.uint64)
+            else:
+                msg = (yield from pipe.recv(i)) + 1
+            got.append(int(msg[0]))
+            if dn is not None:
+                yield from pipe.send(i, msg)
+        yield from pipe.finish()
+        yield from ctx.barrier()
+        return got
+
+    res = run_spmd(spec, program, "dv")
+    assert res.values[0] == [1, 11, 21, 31, 41]
+    assert res.values[2] == [3, 13, 23, 33, 43]
+
+
+def test_counter_pipe_validates():
+    spec = ClusterSpec(n_nodes=2)
+
+    def program(ctx):
+        yield from ctx.sleep(0)
+        with pytest.raises(ValueError):
+            CounterPipe(ctx, None, 1, [0], ctr_base=20, region_base=0)
+        pipe = CounterPipe(ctx, None, 1 - ctx.rank, [4], ctr_base=20,
+                           region_base=0)
+        if ctx.rank == 0:
+            with pytest.raises(ValueError):
+                yield from pipe.send(0, np.zeros(3, np.uint64))
+        with pytest.raises(RuntimeError):
+            yield from pipe.recv(0)   # no upstream
+        return True
+
+    assert all(run_spmd(spec, program, "dv").values)
+
+
+def test_counter_pipe_varying_sizes():
+    spec = ClusterSpec(n_nodes=2)
+    sizes = [2, 7, 3, 5]
+
+    def program(ctx):
+        if ctx.rank == 0:
+            pipe = CounterPipe(ctx, None, 1, sizes, 20, 0)
+            yield from pipe.setup()
+            yield from ctx.barrier()
+            for i, s in enumerate(sizes):
+                yield from pipe.send(
+                    i, np.arange(s, dtype=np.uint64) + i)
+            yield from pipe.finish()
+            yield from ctx.barrier()
+            return None
+        pipe = CounterPipe(ctx, 0, None, sizes, 20, 0)
+        yield from pipe.setup()
+        yield from ctx.barrier()
+        out = []
+        for i, s in enumerate(sizes):
+            msg = yield from pipe.recv(i)
+            out.append(msg.tolist())
+        yield from ctx.barrier()
+        return out
+
+    res = run_spmd(spec, program, "dv")
+    assert res.values[1] == [[0, 1], [1, 2, 3, 4, 5, 6, 7],
+                             [2, 3, 4], [3, 4, 5, 6, 7]]

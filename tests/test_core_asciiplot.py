@@ -1,0 +1,67 @@
+"""Tests for the terminal line-plot renderer."""
+
+import pytest
+
+from repro.core.asciiplot import line_plot, plot_table
+from repro.core.report import Table
+
+
+def test_basic_plot_contains_glyphs_and_legend():
+    out = line_plot([1, 2, 3], {"a": [1, 2, 3], "b": [3, 2, 1]},
+                    width=20, height=6, title="T")
+    assert "T" in out
+    assert "o=a" in out and "x=b" in out
+    assert "o" in out and "x" in out
+
+
+def test_plot_axis_labels():
+    out = line_plot([1, 2], {"s": [5, 6]}, xlabel="nodes",
+                    ylabel="us")
+    assert "nodes" in out and "us" in out
+
+
+def test_plot_log_axes():
+    out = line_plot([1, 2, 4, 8], {"s": [1, 10, 100, 1000]},
+                    logx=True, logy=True)
+    assert "log2" in out and "log y" in out
+
+
+def test_plot_validation():
+    with pytest.raises(ValueError):
+        line_plot([], {"a": []})
+    with pytest.raises(ValueError):
+        line_plot([1, 2], {"a": [1]})
+    with pytest.raises(ValueError):
+        line_plot([1, 2], {})
+    with pytest.raises(ValueError):
+        line_plot([0, 1], {"a": [1, 2]}, logx=True)
+    with pytest.raises(ValueError):
+        line_plot([1, 2], {"a": [0, 2]}, logy=True)
+
+
+def test_plot_flat_series():
+    out = line_plot([1, 2, 3], {"flat": [5.0, 5.0, 5.0]},
+                    width=12, height=4)
+    assert "o" in out
+
+
+def test_extreme_values_formatted():
+    out = line_plot([1, 2], {"s": [1e-9, 1e9]})
+    assert "1e+09" in out or "1e9" in out or "1e+9" in out
+
+
+def test_plot_table_selects_numeric_columns():
+    t = Table("fig", ["nodes", "dv", "label"])
+    t.add_row(2, 1.0, "x")
+    t.add_row(4, 2.0, "y")
+    out = plot_table(t, "nodes")
+    assert "o=dv" in out
+    assert "label" not in out.split("\n")[-1] or "o=dv" in out
+
+
+def test_plot_table_respects_explicit_columns():
+    t = Table("fig", ["n", "a", "b"])
+    t.add_row(1, 1.0, 9.0)
+    t.add_row(2, 2.0, 8.0)
+    out = plot_table(t, "n", y_cols=["b"])
+    assert "o=b" in out and "a" not in out.splitlines()[-1]

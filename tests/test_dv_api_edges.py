@@ -1,0 +1,194 @@
+"""Edge-case tests for the Data Vortex API surface."""
+
+import numpy as np
+import pytest
+
+from repro.core import ClusterSpec, run_spmd
+from repro.dv.config import DVConfig
+
+
+def run_dv(n, fn, **spec_kw):
+    res = run_spmd(ClusterSpec(n_nodes=n, **spec_kw), fn, "dv")
+    return res
+
+
+# ------------------------------------------------------------ send paths ---
+
+def test_send_words_mismatched_lengths():
+    def prog(ctx):
+        yield from ctx.sleep(0)
+        with pytest.raises(ValueError):
+            yield from ctx.dv.send_words(0, [1, 2], [3])
+        return True
+
+    assert run_dv(1, prog).values[0]
+
+
+def test_send_batch_mismatched_lengths():
+    def prog(ctx):
+        yield from ctx.sleep(0)
+        with pytest.raises(ValueError):
+            yield from ctx.dv.send_batch([0], [1, 2], [3, 4])
+        with pytest.raises(ValueError):
+            yield from ctx.dv.send_batch([], [], [])
+        return True
+
+    assert run_dv(1, prog).values[0]
+
+
+def test_bad_via_rejected():
+    def prog(ctx):
+        yield from ctx.sleep(0)
+        with pytest.raises(ValueError):
+            yield from ctx.dv.send_words(0, [0], [1], via="pigeon")
+        return True
+
+    assert run_dv(1, prog).values[0]
+
+
+def test_via_dv_memory_cheapest_host_side():
+    """Payload pre-staged in DV memory: the host pays one doorbell."""
+    def timed(via):
+        def prog(ctx):
+            t0 = ctx.now
+            yield from ctx.dv.send_words(0, np.arange(512),
+                                         np.arange(512), via=via,
+                                         cached_headers=True)
+            return ctx.now - t0
+        return run_dv(1, prog).values[0]
+
+    assert timed("dv_memory") < timed("direct")
+    assert timed("dv_memory") < timed("dma")
+
+
+def test_send_modes_all_deliver_same_data():
+    for via in ("direct", "dma", "dv_memory"):
+        def prog(ctx, via=via):
+            if ctx.rank == 0:
+                ev = yield from ctx.dv.send_words(
+                    1, np.arange(8), np.arange(8) + 50, via=via)
+                yield ev
+            yield from ctx.barrier()
+            if ctx.rank == 1:
+                return ctx.dv.vic.memory.read_range(0, 8).tolist()
+
+        res = run_dv(2, prog)
+        assert res.values[1] == list(range(50, 58)), via
+
+
+# --------------------------------------------------------------- counters ---
+
+def test_counter_timeout_then_success():
+    """A timed-out wait can be retried and succeed later."""
+    def prog(ctx):
+        api = ctx.dv
+        if ctx.rank == 0:
+            yield from api.set_counter(5, 1)
+            ok1 = yield from api.wait_counter_zero(5, timeout=1e-6)
+            yield from ctx.barrier()
+            ok2 = yield from api.wait_counter_zero(5, timeout=1.0)
+            return (ok1, ok2)
+        yield from ctx.barrier()
+        yield from api.send_words(0, [0], [1], counter=5)
+        return None
+
+    res = run_dv(2, prog)
+    assert res.values[0] == (False, True)
+
+
+def test_scratch_counter_available():
+    cfg = DVConfig()
+
+    def prog(ctx):
+        # the scratch counter is usable for fire-and-forget accounting
+        yield from ctx.dv.set_counter(cfg.scratch_counter, 3)
+        assert ctx.dv.counter_value(cfg.scratch_counter) == 3
+        return True
+
+    assert run_dv(1, prog).values[0]
+
+
+def test_preset_race_hangs_and_times_out():
+    """End-to-end reproduction of the §III footgun: data arriving
+    before the preset overshoots the counter; the wait times out."""
+    def prog(ctx):
+        api = ctx.dv
+        if ctx.rank == 0:
+            # send BEFORE the peer presets (no barrier!)
+            ev = yield from api.send_words(1, [0], [1], counter=9)
+            yield ev
+            yield from ctx.barrier()
+            return None
+        # rank 1 presets too late
+        yield from ctx.barrier()       # data already arrived
+        yield from api.set_counter(9, 1)
+        ok = yield from api.wait_counter_zero(9, timeout=1e-5)
+        return ok
+
+    res = run_dv(2, prog)
+    assert res.values[1] is False    # the hang the paper warns about
+
+
+# ------------------------------------------------------------- dv config ---
+
+def test_dvconfig_validation():
+    with pytest.raises(ValueError):
+        DVConfig(height=10)
+    with pytest.raises(ValueError):
+        DVConfig(height=0)
+    with pytest.raises(ValueError):
+        DVConfig(angles=0)
+    with pytest.raises(ValueError):
+        DVConfig(group_counters=2)
+
+
+def test_dvconfig_scaling():
+    cfg = DVConfig(height=16, angles=2)
+    big = cfg.scaled_to_ports(100)
+    assert big.ports >= 100
+    assert big.height == 64
+    assert cfg.ports == 32   # original untouched
+
+
+def test_dvconfig_derived_quantities():
+    cfg = DVConfig(height=16, angles=2)
+    assert cfg.cylinders == 5
+    assert cfg.dv_memory_words == 4 * 1024 * 1024
+    assert cfg.port_packet_rate == pytest.approx(1 / cfg.hop_time_s)
+
+
+# ----------------------------------------------------------------- misc ---
+
+def test_two_concurrent_transfers_one_sender():
+    """Back-to-back sends from one rank to two peers serialise on the
+    injection port but both deliver."""
+    def prog(ctx):
+        api = ctx.dv
+        if ctx.rank == 0:
+            e1 = yield from api.send_words(1, [0], [11])
+            e2 = yield from api.send_words(2, [0], [22])
+            yield e1
+            yield e2
+        yield from ctx.barrier()
+        if ctx.rank in (1, 2):
+            return int(api.vic.memory.read_word(0))
+
+    res = run_dv(3, prog)
+    assert res.values[1] == 11 and res.values[2] == 22
+
+
+def test_fifo_take_partial_then_rest():
+    def prog(ctx):
+        api = ctx.dv
+        if ctx.rank == 0:
+            ev = yield from api.send_fifo(1, np.arange(10, 20,
+                                                       dtype=np.uint64))
+            yield ev
+        yield from ctx.barrier()
+        if ctx.rank == 1:
+            first = api.fifo_take(3).tolist()
+            rest = api.fifo_take().tolist()
+            return (first, rest)
+
+    res = run_dv(2, prog)
+    assert res.values[1] == ([10, 11, 12], [13, 14, 15, 16, 17, 18, 19])

@@ -1,0 +1,106 @@
+"""Tests for the 128-bit (header+payload) packet encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dv.packet import (AddressSpace, NO_COUNTER, Packet, PacketHeader,
+                             PacketMode, decode_address, decode_counter,
+                             decode_dest, decode_space, encode_headers)
+
+
+def test_header_roundtrip_basic():
+    h = PacketHeader(dest_vic=5, address=1234,
+                     space=AddressSpace.DV_MEMORY, counter=7,
+                     mode=PacketMode.WRITE)
+    assert PacketHeader.decode(h.encode()) == h
+
+
+def test_header_no_counter_roundtrip():
+    h = PacketHeader(dest_vic=0, address=0, counter=None)
+    word = h.encode()
+    assert PacketHeader.decode(word).counter is None
+
+
+def test_header_fifo_space():
+    h = PacketHeader(dest_vic=3, address=0, space=AddressSpace.FIFO)
+    assert PacketHeader.decode(h.encode()).space == AddressSpace.FIFO
+
+
+def test_header_encodes_to_64_bits():
+    h = PacketHeader(dest_vic=0xFFFF, address=(1 << 22) - 1,
+                     space=AddressSpace.GROUP_COUNTER, counter=126,
+                     mode=PacketMode.REPLY)
+    assert 0 <= h.encode() < (1 << 64)
+    assert PacketHeader.decode(h.encode()) == h
+
+
+def test_header_field_validation():
+    with pytest.raises(ValueError):
+        PacketHeader(dest_vic=1 << 16)
+    with pytest.raises(ValueError):
+        PacketHeader(dest_vic=0, address=1 << 22)
+    with pytest.raises(ValueError):
+        PacketHeader(dest_vic=0, counter=127)  # NO_COUNTER is reserved
+
+
+def test_packet_payload_range():
+    h = PacketHeader(dest_vic=0)
+    Packet(h, payload=(1 << 64) - 1)
+    with pytest.raises(ValueError):
+        Packet(h, payload=1 << 64)
+    with pytest.raises(ValueError):
+        Packet(h, payload=-1)
+
+
+@given(st.integers(0, 0xFFFF), st.integers(0, (1 << 22) - 1),
+       st.sampled_from(list(AddressSpace)),
+       st.one_of(st.none(), st.integers(0, 126)),
+       st.sampled_from(list(PacketMode)))
+@settings(max_examples=300, deadline=None)
+def test_property_header_roundtrip(dest, addr, space, ctr, mode):
+    h = PacketHeader(dest_vic=dest, address=addr, space=space,
+                     counter=ctr, mode=mode)
+    assert PacketHeader.decode(h.encode()) == h
+
+
+def test_vectorised_encode_matches_scalar():
+    dests = np.array([1, 2, 3, 500])
+    addrs = np.array([10, 20, 30, 40])
+    enc = encode_headers(dests, addrs, counter=5)
+    for i in range(4):
+        scalar = PacketHeader(dest_vic=int(dests[i]),
+                              address=int(addrs[i]), counter=5).encode()
+        assert int(enc[i]) == scalar
+
+
+def test_vectorised_decoders():
+    dests = np.array([0, 7, 65535])
+    addrs = np.array([0, 99, (1 << 22) - 1])
+    enc = encode_headers(dests, addrs,
+                         space=int(AddressSpace.FIFO), counter=None)
+    assert np.array_equal(decode_dest(enc), dests)
+    assert np.array_equal(decode_address(enc), addrs)
+    assert np.array_equal(decode_space(enc),
+                          np.full(3, int(AddressSpace.FIFO)))
+    assert np.array_equal(decode_counter(enc), np.full(3, NO_COUNTER))
+
+
+def test_vectorised_encode_validates_ranges():
+    with pytest.raises(ValueError):
+        encode_headers(np.array([1 << 16]), np.array([0]))
+    with pytest.raises(ValueError):
+        encode_headers(np.array([0]), np.array([1 << 22]))
+
+
+@given(st.lists(st.tuples(st.integers(0, 0xFFFF),
+                          st.integers(0, (1 << 22) - 1)),
+                min_size=1, max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_property_vector_roundtrip(pairs):
+    dests = np.array([p[0] for p in pairs])
+    addrs = np.array([p[1] for p in pairs])
+    enc = encode_headers(dests, addrs)
+    assert np.array_equal(decode_dest(enc), dests)
+    assert np.array_equal(decode_address(enc), addrs)

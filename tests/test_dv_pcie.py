@@ -1,0 +1,138 @@
+"""Unit tests for the PCIe bus / DMA-engine model."""
+
+import pytest
+
+from repro.dv import DVConfig
+from repro.dv.pcie import PCIeBus
+from repro.sim import Engine
+
+
+def make_bus(cfg=None):
+    eng = Engine()
+    return eng, PCIeBus(eng, cfg or DVConfig())
+
+
+def run(eng, gen):
+    return eng.run_process(gen)
+
+
+# ------------------------------------------------------------------- PIO ---
+
+def test_direct_write_time_matches_bandwidth():
+    cfg = DVConfig()
+    eng, bus = make_bus(cfg)
+
+    def body():
+        yield from bus.direct_write(1 << 20)
+
+    run(eng, body())
+    expect = cfg.pio_setup_s + (1 << 20) / cfg.pcie_direct_write_bw
+    assert eng.now == pytest.approx(expect)
+    assert bus.bytes_pio_written == 1 << 20
+
+
+def test_direct_read_slower_than_write():
+    cfg = DVConfig()
+    eng_w, bus_w = make_bus(cfg)
+    eng_w.run_process(bus_w.direct_write(1 << 18))
+    eng_r, bus_r = make_bus(cfg)
+    eng_r.run_process(bus_r.direct_read(1 << 18))
+    assert eng_r.now > eng_w.now
+
+
+def test_pio_serialises():
+    eng, bus = make_bus()
+    done = []
+
+    def worker(i):
+        yield from bus.direct_write(1 << 16)
+        done.append((i, eng.now))
+
+    eng.process(worker(0))
+    eng.process(worker(1))
+    eng.run()
+    t0, t1 = done[0][1], done[1][1]
+    assert t1 >= 2 * t0 * 0.99  # second waits for the first
+
+
+# ------------------------------------------------------------------- DMA ---
+
+def test_dma_write_faster_than_pio_for_bulk():
+    cfg = DVConfig()
+    eng_p, bus_p = make_bus(cfg)
+    eng_p.run_process(bus_p.direct_write(1 << 20))
+    eng_d, bus_d = make_bus(cfg)
+    eng_d.run_process(bus_d.dma_write(1 << 20))
+    assert eng_d.now < eng_p.now
+    assert bus_d.bytes_dma_written == 1 << 20
+
+
+def test_two_dma_engines_overlap():
+    cfg = DVConfig()
+    eng, bus = make_bus(cfg)
+    n = 1 << 22
+
+    def w():
+        yield from bus.dma_write(n)
+
+    def r():
+        yield from bus.dma_read(n)
+
+    eng.process(w())
+    eng.process(r())
+    eng.run()
+    one_transfer = cfg.dma_setup_s + n / cfg.pcie_dma_write_bw
+    # in and out overlap on the two engines: total ~ one transfer
+    assert eng.now < 1.3 * one_transfer
+
+
+def test_third_dma_queues_behind_engines():
+    cfg = DVConfig()
+    eng, bus = make_bus(cfg)
+    n = 1 << 22
+    times = []
+
+    def w(i):
+        yield from bus.dma_write(n)
+        times.append(eng.now)
+
+    for i in range(3):
+        eng.process(w(i))
+    eng.run()
+    per = cfg.dma_setup_s + n / cfg.pcie_dma_write_bw
+    # two run together, the third waits for an engine
+    assert times[0] == pytest.approx(per, rel=1e-6)
+    assert times[2] == pytest.approx(2 * per, rel=1e-6)
+
+
+def test_dma_chunks_split_at_table_capacity():
+    cfg = DVConfig(dma_table_entries=4, dma_entry_words=2)
+    eng, bus = make_bus(cfg)
+    max_bytes = 4 * 2 * 8
+    chunks = bus._dma_chunks(3 * max_bytes + 8)
+    assert chunks == [max_bytes, max_bytes, max_bytes, 8]
+
+
+def test_dma_chunked_transfer_pays_setup_per_chunk():
+    cfg = DVConfig(dma_table_entries=4, dma_entry_words=2)
+    max_bytes = 4 * 2 * 8
+    eng, bus = make_bus(cfg)
+    eng.run_process(bus.dma_write(2 * max_bytes))
+    expect = 2 * (cfg.dma_setup_s + max_bytes / cfg.pcie_dma_write_bw)
+    assert eng.now == pytest.approx(expect)
+
+
+def test_negative_size_rejected():
+    eng, bus = make_bus()
+    for gen in (bus.direct_write(-1), bus.direct_read(-1),
+                bus.dma_write(-1), bus.dma_read(-1)):
+        p = eng.process(gen)
+        eng.run()
+        assert not p.ok and isinstance(p.value, ValueError)
+
+
+def test_zero_byte_transfer_costs_setup_only():
+    cfg = DVConfig()
+    eng, bus = make_bus(cfg)
+    eng.run_process(bus.direct_write(0))
+    assert eng.now == pytest.approx(cfg.pio_setup_s)

@@ -1,0 +1,175 @@
+"""Tests for fault injection and the reliability analysis
+(the paper's refs [12]/[13] style of study, rebuilt for the electronic
+topology)."""
+
+import networkx as nx
+import pytest
+
+from repro.dv.reliability import (path_redundancy, reliability_curve,
+                                  routed_delivery_rate, switch_graph,
+                                  terminal_reliability, _route_subgraph,
+                                  _inj, _ej)
+from repro.dv.switch import CycleSwitch
+from repro.dv.topology import DataVortexTopology
+
+
+def topo8(a=2):
+    return DataVortexTopology(height=8, angles=a)
+
+
+# ---------------------------------------------------------- switch graph ---
+
+def test_switch_graph_counts():
+    t = topo8()
+    g = switch_graph(t)
+    # switching nodes + 2 terminals per port
+    assert g.number_of_nodes() == t.nodes + 2 * t.ports
+    # every switching node has a deflect edge; non-innermost also descend
+    deflects = sum(1 for *_, d in g.edges(data=True)
+                   if d["kind"] == "deflect")
+    descends = sum(1 for *_, d in g.edges(data=True)
+                   if d["kind"] == "descend")
+    assert deflects == t.nodes
+    assert descends == t.nodes - t.ports  # innermost cannot descend
+
+
+def test_route_subgraph_reaches_every_destination():
+    t = topo8()
+    g = switch_graph(t)
+    for dest in range(0, t.ports, 3):
+        sub = _route_subgraph(t, g, dest)
+        for src in range(0, t.ports, 5):
+            assert nx.has_path(sub, _inj(src), _ej(dest)), (src, dest)
+
+
+def test_route_subgraph_restricts_ejection():
+    t = topo8()
+    g = switch_graph(t)
+    sub = _route_subgraph(t, g, 3)
+    eject_edges = [(u, v) for u, v, d in sub.edges(data=True)
+                   if d["kind"] == "eject"]
+    assert eject_edges == [(t.port_coord(3, t.cylinders - 1), _ej(3))]
+
+
+# ------------------------------------------------------------- redundancy ---
+
+def test_redundancy_positive_everywhere():
+    t = topo8()
+    for s in range(0, t.ports, 4):
+        for d in range(1, t.ports, 5):
+            assert path_redundancy(t, s, d) >= 1
+
+
+def test_more_angles_add_route_diversity():
+    """With A=2 the deflection is a two-cycle back to the same descent
+    edge (true single points of failure); wider rings open disjoint
+    routes for at least some pairs."""
+    r2 = [path_redundancy(topo8(2), s, d)
+          for s in (0, 5) for d in (1, 9)]
+    r4 = [path_redundancy(topo8(4), s, d)
+          for s in (0, 5) for d in (1, 9)]
+    assert max(r2) == 1
+    assert max(r4) >= 2
+    assert sum(r4) > sum(r2)
+
+
+# ------------------------------------------------------ failure injection ---
+
+def test_failed_node_validation():
+    with pytest.raises(ValueError):
+        CycleSwitch(topo8(), failed_nodes={(99, 0, 0)})
+
+
+def test_packets_route_around_failures_when_possible():
+    t = DataVortexTopology(height=8, angles=4)
+    # fail one mid-fabric node; most traffic must still arrive
+    sw = CycleSwitch(t, failed_nodes={(1, 3, 2)}, ttl_hops=200)
+    import random
+    rng = random.Random(0)
+    n = 200
+    for _ in range(n):
+        sw.inject(rng.randrange(t.ports), rng.randrange(t.ports))
+    out = sw.run_until_drained(max_cycles=100_000)
+    assert len(out) + sw.stats.dropped == n
+    assert len(out) > 0.8 * n
+
+
+def test_dead_ejection_port_drops_its_traffic():
+    t = topo8()
+    dead_port = 5
+    dead_node = t.port_coord(dead_port, t.cylinders - 1)
+    sw = CycleSwitch(t, failed_nodes={dead_node}, ttl_hops=100)
+    sw.inject(0, dead_port)
+    sw.inject(0, 1)
+    out = sw.run_until_drained(max_cycles=10_000)
+    assert sw.stats.dropped == 1
+    assert [e.port for e in out] == [1]
+
+
+def test_dead_injection_port_drops_queue():
+    t = topo8()
+    sw = CycleSwitch(t, failed_nodes={t.port_coord(2, 0)})
+    sw.inject(2, 7)
+    sw.inject(2, 9)
+    out = sw.run_until_drained(max_cycles=10_000)
+    assert out == []
+    assert sw.stats.dropped == 2
+
+
+def test_ttl_bounds_livelock():
+    t = topo8()
+    # fail the destination's whole innermost ring entry: packet can
+    # never eject, TTL must reclaim it
+    dead = {(t.cylinders - 1, 3, a) for a in range(t.angles)}
+    sw = CycleSwitch(t, failed_nodes=dead, ttl_hops=64)
+    sw.inject(0, t.coord_port(3, 0))
+    sw.run_until_drained(max_cycles=50_000)
+    assert sw.stats.dropped == 1
+
+
+def test_no_failures_means_no_drops():
+    t = topo8()
+    sw = CycleSwitch(t, ttl_hops=10_000)
+    import random
+    rng = random.Random(1)
+    for _ in range(300):
+        sw.inject(rng.randrange(t.ports), rng.randrange(t.ports))
+    out = sw.run_until_drained(max_cycles=100_000)
+    assert len(out) == 300 and sw.stats.dropped == 0
+
+
+# ------------------------------------------------------------ reliability ---
+
+def test_terminal_reliability_perfect_without_failures():
+    assert terminal_reliability(topo8(), 0.0, trials=5) == 1.0
+
+
+def test_terminal_reliability_decreases_with_failures():
+    t = topo8()
+    r_lo = terminal_reliability(t, 0.01, trials=60, seed=3)
+    r_hi = terminal_reliability(t, 0.10, trials=60, seed=3)
+    assert 0 <= r_hi < r_lo <= 1.0
+
+
+def test_routed_delivery_no_failures():
+    assert routed_delivery_rate(topo8(), 0.0, trials=3) == 1.0
+
+
+def test_routing_cannot_beat_the_graph_bound():
+    """Oblivious deflection routing delivers at most (up to MC noise)
+    what graph connectivity allows."""
+    t = topo8()
+    p = 0.05
+    graph = terminal_reliability(t, p, trials=150, seed=11)
+    routed = routed_delivery_rate(t, p, trials=40, seed=11)
+    assert routed <= graph + 0.08
+
+
+def test_reliability_curve_monotone():
+    pts = reliability_curve(topo8(), p_fails=(0.0, 0.03, 0.08),
+                            trials=40)
+    graphs = [p.graph_reliability for p in pts]
+    assert graphs[0] == 1.0
+    assert graphs == sorted(graphs, reverse=True)
+    for p in pts:
+        assert 0 <= p.routed_delivery <= 1

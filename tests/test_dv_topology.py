@@ -1,0 +1,146 @@
+"""Unit and property tests for the Data Vortex switch geometry."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dv.topology import DataVortexTopology
+
+
+def topo(h=16, a=2):
+    return DataVortexTopology(height=h, angles=a)
+
+
+# ------------------------------------------------------------- geometry ---
+
+def test_cylinder_count_matches_paper_formula():
+    # C = log2(H) + 1  (paper SS II)
+    assert topo(h=2).cylinders == 2
+    assert topo(h=8).cylinders == 4
+    assert topo(h=16).cylinders == 5
+    assert topo(h=64).cylinders == 7
+
+
+def test_node_count_scales_n_log_n():
+    t = topo(h=16, a=2)
+    # N = A * H * (log2 H + 1)
+    assert t.nodes == 2 * 16 * 5
+    assert t.ports == 32
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(ValueError):
+        DataVortexTopology(height=12, angles=2)   # not a power of two
+    with pytest.raises(ValueError):
+        DataVortexTopology(height=1, angles=2)
+    with pytest.raises(ValueError):
+        DataVortexTopology(height=8, angles=0)
+
+
+def test_port_coord_roundtrip():
+    t = topo()
+    for p in range(t.ports):
+        c, h, a = t.port_coord(p, 0)
+        assert c == 0
+        assert t.coord_port(h, a) == p
+
+
+def test_port_coord_out_of_range():
+    t = topo()
+    with pytest.raises(ValueError):
+        t.port_coord(t.ports, 0)
+    with pytest.raises(ValueError):
+        t.port_coord(-1, 0)
+
+
+# -------------------------------------------------------------- routing ---
+
+def test_height_bit_msb_first():
+    t = topo(h=8)  # levels = 3
+    assert t.height_bit(0b100, 0) == 1
+    assert t.height_bit(0b100, 1) == 0
+    assert t.height_bit(0b100, 2) == 0
+    assert t.height_bit(0b001, 2) == 1
+
+
+def test_descend_advances_cylinder_and_angle():
+    t = topo(h=8, a=4)
+    assert t.descend(0, 5, 1) == (1, 5, 2)
+    assert t.descend(1, 5, 3) == (2, 5, 0)  # angle wraps
+
+
+def test_descend_from_innermost_rejected():
+    t = topo(h=8)
+    with pytest.raises(ValueError):
+        t.descend(t.cylinders - 1, 0, 0)
+
+
+def test_deflect_flips_owned_bit():
+    t = topo(h=8, a=2)  # levels=3
+    # cylinder 0 owns the MSB (bit value 4)
+    assert t.deflect(0, 0b000, 0) == (0, 0b100, 1)
+    # cylinder 1 owns bit value 2
+    assert t.deflect(1, 0b000, 0) == (1, 0b010, 1)
+    # cylinder 2 owns bit value 1
+    assert t.deflect(2, 0b111, 1) == (2, 0b110, 0)
+
+
+def test_deflect_innermost_keeps_height():
+    t = topo(h=8, a=4)
+    assert t.deflect(3, 5, 0) == (3, 5, 1)
+
+
+def test_deflect_is_involution_in_height():
+    t = topo(h=16, a=2)
+    for c in range(t.levels):
+        for h in range(t.height):
+            c2, h2, _ = t.deflect(c, h, 0)
+            assert c2 == c
+            _, h3, _ = t.deflect(c, h2, 0)
+            assert h3 == h
+
+
+def test_predecessor_functions_invert_paths():
+    t = topo(h=16, a=3)
+    for c in range(t.cylinders):
+        for h in range(t.height):
+            for a in range(t.angles):
+                dc, dh, da = t.deflect(c, h, a)
+                assert t.same_cylinder_predecessor(dc, dh, da) == (c, h, a)
+                if c < t.cylinders - 1:
+                    nc, nh, na = t.descend(c, h, a)
+                    assert t.outer_predecessor(nc, nh, na) == (c, h, a)
+
+
+def test_outer_predecessor_rejected_on_cylinder0():
+    with pytest.raises(ValueError):
+        topo().outer_predecessor(0, 0, 0)
+
+
+# -------------------------------------------------------------- min_hops ---
+
+def test_min_hops_same_port_zero_angle_offset():
+    t = topo(h=8, a=2)
+    # src == dest, all height bits match: 3 descents, then the angle must
+    # line up; total >= levels.
+    hops = t.min_hops(0, 0)
+    assert hops >= t.levels
+
+
+def test_min_hops_monotone_in_bit_mismatches():
+    t = topo(h=16, a=1)
+    # With A=1 angles never constrain anything.
+    base = t.min_hops(0, 0)           # heights equal: 4 descents
+    assert base == t.levels
+    worst = t.min_hops(0, t.ports - 1)  # all four height bits differ
+    assert worst == 2 * t.levels
+
+
+@given(st.integers(0, 31), st.integers(0, 31))
+@settings(max_examples=200, deadline=None)
+def test_min_hops_bounds(src, dst):
+    t = topo(h=16, a=2)
+    hops = t.min_hops(src, dst)
+    # at least one descent per level; at most a deflection per level plus
+    # a full circulation of the innermost cylinder
+    assert t.levels <= hops <= 2 * t.levels + t.angles - 1

@@ -1,0 +1,113 @@
+"""Tests for the synthetic traffic study."""
+
+import random
+
+import pytest
+
+from repro.dv.topology import DataVortexTopology
+from repro.dv.traffic import (PATTERNS, bit_reversal, hotspot,
+                              permutation, run_traffic, smoothing_study,
+                              tornado, uniform)
+
+
+def topo():
+    return DataVortexTopology(height=8, angles=2)
+
+
+# -------------------------------------------------------------- patterns ---
+
+def test_uniform_in_range():
+    pat = uniform(16)
+    rng = random.Random(0)
+    assert all(0 <= pat(3, rng) < 16 for _ in range(100))
+
+
+def test_permutation_is_a_bijection():
+    pat = permutation(16, seed=1)
+    rng = random.Random(0)
+    dests = [pat(s, rng) for s in range(16)]
+    assert sorted(dests) == list(range(16))
+
+
+def test_hotspot_concentrates():
+    pat = hotspot(16, hot=5, fraction=0.8)
+    rng = random.Random(0)
+    hits = sum(1 for _ in range(1000) if pat(2, rng) == 5)
+    assert hits > 700
+
+
+def test_tornado_offset():
+    pat = tornado(16)
+    rng = random.Random(0)
+    assert pat(0, rng) == 8
+    assert pat(10, rng) == 2
+
+
+def test_bit_reversal_involution():
+    pat = bit_reversal(16)
+    rng = random.Random(0)
+    for s in range(16):
+        assert pat(pat(s, rng), rng) == s
+
+
+# ------------------------------------------------------------ experiment ---
+
+def test_run_traffic_validates_args():
+    with pytest.raises(ValueError):
+        run_traffic(topo(), "uniform", 0.0)
+    with pytest.raises(ValueError):
+        run_traffic(topo(), "uniform", 1.5)
+    with pytest.raises(ValueError):
+        run_traffic(topo(), "smoke", 0.3)
+
+
+def test_low_load_everything_delivered_quickly():
+    r = run_traffic(topo(), "uniform", 0.05, cycles=500, seed=2)
+    assert r.delivered > 0
+    # at 5% load latency is near the contention-free path length
+    assert r.mean_latency < 12
+    assert r.mean_deflections < 0.5
+
+
+def test_throughput_tracks_offered_load_when_light():
+    lo = run_traffic(topo(), "uniform", 0.05, cycles=800, seed=3)
+    hi = run_traffic(topo(), "uniform", 0.20, cycles=800, seed=3)
+    assert hi.accepted_throughput > 2.5 * lo.accepted_throughput
+
+
+def test_hotspot_is_ejection_limited():
+    """The hot port caps aggregate throughput near (1 + rest)/ports."""
+    r = run_traffic(topo(), "hotspot", 0.4, cycles=1000, seed=4)
+    u = run_traffic(topo(), "uniform", 0.4, cycles=1000, seed=4)
+    assert r.accepted_throughput < 0.6 * u.accepted_throughput
+
+
+def test_traffic_smoothing_claim():
+    """Paper SS II ([14],[15]): bursty arrivals barely hurt throughput or
+    latency — the fabric smooths traffic."""
+    t = topo()
+    for name in ("uniform", "tornado"):
+        smooth = run_traffic(t, name, 0.3, cycles=1000, seed=5)
+        bursty = run_traffic(t, name, 0.3, cycles=1000, bursty=True,
+                             seed=5)
+        assert bursty.accepted_throughput > 0.8 * smooth.accepted_throughput
+        assert bursty.mean_latency < 1.5 * max(smooth.mean_latency, 1)
+
+
+def test_p99_at_least_mean():
+    r = run_traffic(topo(), "uniform", 0.3, cycles=600, seed=6)
+    assert r.p99_latency >= r.mean_latency
+
+
+def test_smoothing_study_covers_all_patterns():
+    res = smoothing_study(topo(), offered_load=0.2, cycles=300)
+    assert set(res) == set(PATTERNS)
+    for v in res.values():
+        assert {"smooth", "bursty"} == set(v)
+
+
+def test_deterministic_given_seed():
+    a = run_traffic(topo(), "uniform", 0.3, cycles=400, seed=9)
+    b = run_traffic(topo(), "uniform", 0.3, cycles=400, seed=9)
+    assert a.delivered == b.delivered
+    assert a.mean_latency == b.mean_latency

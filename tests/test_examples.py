@@ -1,0 +1,38 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are part of the public deliverable; they are executed in-process
+(imported as modules) with their ``main()`` invoked so failures surface
+as ordinary test failures with full tracebacks.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+def load(path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    mod = load(path)
+    assert hasattr(mod, "main"), f"{path.stem} has no main()"
+    mod.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.stem} printed nothing"

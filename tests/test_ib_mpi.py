@@ -1,0 +1,316 @@
+"""Tests for the MPI-over-InfiniBand model: p2p semantics, protocol
+switch, and all collectives (functional correctness on every rank count
+from 1 to 9 so non-power-of-two paths are covered)."""
+
+import numpy as np
+import pytest
+
+from repro.ib import ANY_SOURCE, IBConfig, MPIRuntime
+from repro.sim import Engine
+
+
+def run_ranks(n, fn, config=None, until=None):
+    """Spawn fn(ep) per rank, run, return list of process values."""
+    eng = Engine()
+    rt = MPIRuntime(eng, config or IBConfig(), n)
+    procs = [eng.process(fn(rt.endpoint(r)), name=f"rank{r}")
+             for r in range(n)]
+    eng.run(until=until)
+    for p in procs:
+        if not p.triggered:
+            raise AssertionError("deadlock: a rank did not finish")
+        if not p.ok:
+            raise p.value
+    return [p.value for p in procs], eng
+
+
+# ----------------------------------------------------------------- p2p ---
+
+def test_send_recv_roundtrip():
+    def fn(ep):
+        if ep.rank == 0:
+            yield from ep.send(1, np.arange(10), tag=7)
+        else:
+            data, src, tag = yield from ep.recv(0, tag=7)
+            assert src == 0 and tag == 7
+            assert np.array_equal(data, np.arange(10))
+            return "got"
+
+    vals, _ = run_ranks(2, fn)
+    assert vals[1] == "got"
+
+
+def test_recv_any_source():
+    def fn(ep):
+        if ep.rank == 0:
+            seen = set()
+            for _ in range(2):
+                _, src, _ = yield from ep.recv(ANY_SOURCE)
+                seen.add(src)
+            return seen
+        yield from ep.send(0, ep.rank)
+
+    vals, _ = run_ranks(3, fn)
+    assert vals[0] == {1, 2}
+
+
+def test_tag_matching_out_of_order():
+    def fn(ep):
+        if ep.rank == 0:
+            yield from ep.send(1, "first", tag=1)
+            yield from ep.send(1, "second", tag=2)
+        else:
+            # receive in reverse tag order
+            d2, _, _ = yield from ep.recv(0, tag=2)
+            d1, _, _ = yield from ep.recv(0, tag=1)
+            return (d1, d2)
+
+    vals, _ = run_ranks(2, fn)
+    assert vals[1] == ("first", "second")
+
+
+def test_eager_vs_rendezvous_timing():
+    """A rendezvous message must cost more than an eager one of nearly
+    the same size (handshake penalty at the threshold)."""
+    cfg = IBConfig()
+
+    def timed(nbytes):
+        def fn(ep):
+            if ep.rank == 0:
+                data = np.zeros(nbytes, np.uint8)
+                yield from ep.send(1, data, nbytes=nbytes)
+            else:
+                t0 = ep.engine.now
+                yield from ep.recv(0)
+                return ep.engine.now - t0
+        vals, _ = run_ranks(2, fn, config=cfg)
+        return vals[1]
+
+    just_under = timed(cfg.eager_threshold_bytes)
+    just_over = timed(cfg.eager_threshold_bytes + 8)
+    assert just_over > just_under + 0.5 * cfg.rendezvous_handshake_s
+
+
+def test_rendezvous_moves_data_intact():
+    def fn(ep):
+        big = np.arange(100_000, dtype=np.float64)
+        if ep.rank == 0:
+            yield from ep.send(1, big)
+        else:
+            data, _, _ = yield from ep.recv(0)
+            assert np.array_equal(data, big)
+            return True
+
+    vals, _ = run_ranks(2, fn)
+    assert vals[1]
+
+
+def test_self_send():
+    def fn(ep):
+        yield from ep.send(ep.rank, "loop")
+        data, src, _ = yield from ep.recv(ep.rank)
+        return (data, src)
+
+    vals, _ = run_ranks(1, fn)
+    assert vals[0] == ("loop", 0)
+
+
+def test_isend_irecv_overlap():
+    def fn(ep):
+        other = 1 - ep.rank
+        s = ep.isend(other, ep.rank * 100)
+        r = ep.irecv(other)
+        data, _, _ = yield r
+        yield s
+        return data
+
+    vals, _ = run_ranks(2, fn)
+    assert vals == [100, 0]
+
+
+def test_sendrecv_exchange_all_pairs():
+    def fn(ep):
+        other = 1 - ep.rank
+        data, _, _ = yield from ep.sendrecv(other, f"from{ep.rank}", other)
+        return data
+
+    vals, _ = run_ranks(2, fn)
+    assert vals == ["from1", "from0"]
+
+
+def test_iprobe():
+    def fn(ep):
+        if ep.rank == 0:
+            yield from ep.send(1, 42, tag=9)
+        else:
+            assert not ep.iprobe(0, 5)  # wrong tag, nothing yet
+            yield ep.engine.timeout(1.0)
+            assert ep.iprobe(0, 9)
+            assert not ep.iprobe(0, 5)
+            data, _, _ = yield from ep.recv(0, tag=9)
+            return data
+
+    vals, _ = run_ranks(2, fn)
+    assert vals[1] == 42
+
+
+# ------------------------------------------------------------ collectives ---
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7, 8, 9])
+def test_barrier_completes_all_sizes(n):
+    def fn(ep):
+        yield from ep.barrier()
+        return ep.engine.now
+
+    vals, _ = run_ranks(n, fn)
+    assert len(vals) == n
+
+
+def test_barrier_synchronises():
+    """No rank may leave the barrier before the slowest rank enters it."""
+    enter_time = 5.0
+
+    def fn(ep):
+        if ep.rank == 0:
+            yield ep.engine.timeout(enter_time)
+        yield from ep.barrier()
+        return ep.engine.now
+
+    vals, _ = run_ranks(4, fn)
+    assert all(v >= enter_time for v in vals)
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 8])
+@pytest.mark.parametrize("root", [0, "last"])
+def test_bcast_all_sizes_and_roots(n, root):
+    root = 0 if root == 0 else n - 1
+
+    def fn(ep):
+        data = {"v": 123} if ep.rank == root else None
+        out = yield from ep.bcast(data, root=root)
+        return out["v"]
+
+    vals, _ = run_ranks(n, fn)
+    assert vals == [123] * n
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+def test_reduce_sum(n):
+    def fn(ep):
+        out = yield from ep.reduce(ep.rank + 1, lambda a, b: a + b, root=0)
+        return out
+
+    vals, _ = run_ranks(n, fn)
+    assert vals[0] == n * (n + 1) // 2
+    assert all(v is None for v in vals[1:])
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+def test_allreduce_arrays(n):
+    def fn(ep):
+        data = np.full(4, float(ep.rank))
+        out = yield from ep.allreduce(data, np.add)
+        return out
+
+    vals, _ = run_ranks(n, fn)
+    expect = np.full(4, sum(range(n)), float)
+    for v in vals:
+        assert np.array_equal(v, expect)
+
+
+@pytest.mark.parametrize("n", [1, 2, 4, 6])
+def test_gather(n):
+    def fn(ep):
+        out = yield from ep.gather(ep.rank * 10, root=0)
+        return out
+
+    vals, _ = run_ranks(n, fn)
+    assert vals[0] == [r * 10 for r in range(n)]
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 8])
+def test_allgather(n):
+    def fn(ep):
+        out = yield from ep.allgather(ep.rank)
+        return out
+
+    vals, _ = run_ranks(n, fn)
+    for v in vals:
+        assert v == list(range(n))
+
+
+@pytest.mark.parametrize("n", [2, 4, 5])
+def test_scatter(n):
+    def fn(ep):
+        chunks = [f"chunk{r}" for r in range(n)] if ep.rank == 0 else None
+        out = yield from ep.scatter(chunks, root=0)
+        return out
+
+    vals, _ = run_ranks(n, fn)
+    assert vals == [f"chunk{r}" for r in range(n)]
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 8])
+def test_alltoall(n):
+    def fn(ep):
+        chunks = [(ep.rank, dst) for dst in range(n)]
+        out = yield from ep.alltoall(chunks)
+        return out
+
+    vals, _ = run_ranks(n, fn)
+    for rank, v in enumerate(vals):
+        assert v == [(src, rank) for src in range(n)]
+
+
+# ---------------------------------------------------------------- fabric ---
+
+def test_barrier_latency_grows_with_ranks():
+    """Fig. 4's MPI line: barrier cost increases with node count."""
+    def timing(n):
+        def fn(ep):
+            yield from ep.barrier()
+            t0 = ep.engine.now
+            yield from ep.barrier()
+            return ep.engine.now - t0
+        vals, _ = run_ranks(n, fn)
+        return max(vals)
+
+    t2, t8, t32 = timing(2), timing(8), timing(32)
+    assert t2 < t8 < t32
+    assert t32 > 2.5 * t2
+
+
+def test_cross_leaf_messages_counted():
+    cfg = IBConfig(leaf_size=2)
+
+    def fn(ep):
+        if ep.rank == 0:
+            yield from ep.send(1, 1)   # same leaf
+            yield from ep.send(3, 1)   # cross leaf
+        elif ep.rank in (1, 3):
+            yield from ep.recv(0)
+
+    _, eng_holder = run_ranks(4, fn, config=cfg)
+
+
+def test_contention_slows_colliding_flows():
+    """With static routing, concurrent cross-leaf flows can share an
+    uplink; the ideal-crossbar variant must be at least as fast."""
+    def workload(contention):
+        eng = Engine()
+        cfg = IBConfig(leaf_size=4, uplinks_per_leaf=1)
+        rt = MPIRuntime(eng, cfg, 8, contention=contention)
+
+        def fn(ep):
+            if ep.rank < 4:
+                data = np.zeros(1 << 18, np.uint8)
+                yield from ep.send(ep.rank + 4, data)
+            else:
+                yield from ep.recv(ep.rank - 4)
+
+        procs = [eng.process(fn(rt.endpoint(r))) for r in range(8)]
+        eng.run()
+        assert all(p.ok for p in procs)
+        return eng.now
+
+    assert workload(contention=True) > workload(contention=False)

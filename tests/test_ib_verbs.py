@@ -1,0 +1,147 @@
+"""Tests for the InfiniBand verbs (RDMA) layer."""
+
+import numpy as np
+import pytest
+
+from repro.core import ClusterSpec, run_spmd
+from repro.ib.verbs import VERBS_OVERHEAD_S
+
+
+def run_mpi(n, fn):
+    res = run_spmd(ClusterSpec(n_nodes=n), fn, "mpi")
+    return res
+
+
+def test_reg_mr_and_lookup():
+    def prog(ctx):
+        v = ctx.mpi.verbs
+        buf = np.zeros(16)
+        mr = v.reg_mr("table", buf)
+        assert mr.rkey == (ctx.rank, "table")
+        assert v.region("table").buf is buf
+        with pytest.raises(KeyError):
+            v.region("nope")
+        with pytest.raises(ValueError):
+            v.reg_mr("table", np.zeros(8))   # different buffer
+        with pytest.raises(ValueError):
+            v.reg_mr("2d", np.zeros((2, 2)))
+        yield from ctx.sleep(0)
+        return True
+
+    assert run_mpi(1, prog).values[0]
+
+
+def test_rdma_write_lands_remotely():
+    def prog(ctx):
+        v = ctx.mpi.verbs
+        buf = np.zeros(32)
+        v.reg_mr("win", buf)
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            yield from v.rdma_write(1, "win", 4, np.arange(3) + 10.0)
+        yield from ctx.mpi.barrier()
+        return buf.copy()
+
+    res = run_mpi(2, prog)
+    assert res.values[1][4:7].tolist() == [10.0, 11.0, 12.0]
+    assert res.values[0].sum() == 0
+
+
+def test_rdma_read_fetches_remote_data():
+    def prog(ctx):
+        v = ctx.mpi.verbs
+        buf = np.arange(16, dtype=float) * (ctx.rank + 1)
+        v.reg_mr("win", buf)
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            data = yield from v.rdma_read(1, "win", 2, 3)
+            yield from ctx.mpi.barrier()
+            return data.tolist()
+        yield from ctx.mpi.barrier()
+        return None
+
+    res = run_mpi(2, prog)
+    assert res.values[0] == [4.0, 6.0, 8.0]
+
+
+def test_rdma_read_validates_count():
+    def prog(ctx):
+        v = ctx.mpi.verbs
+        v.reg_mr("w", np.zeros(4))
+        yield from ctx.sleep(0)
+        with pytest.raises(ValueError):
+            yield from v.rdma_read(0, "w", 0, 0)
+        return True
+
+    assert run_mpi(1, prog).values[0]
+
+
+def test_rdma_no_remote_host_time():
+    """The target rank can be busy computing; RDMA completes anyway."""
+    def prog(ctx):
+        v = ctx.mpi.verbs
+        buf = np.arange(8, dtype=float)
+        v.reg_mr("w", buf)
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            t0 = ctx.now
+            data = yield from v.rdma_read(1, "w", 0, 8)
+            return (ctx.now - t0, data.sum())
+        # rank 1 sleeps through the whole exchange
+        yield from ctx.sleep(1.0)
+        return None
+
+    res = run_mpi(2, prog)
+    latency, total = res.values[0]
+    assert total == 28.0
+    assert latency < 1e-4      # microseconds, not rank 1's full second
+
+
+def test_verbs_cheaper_than_mpi_send_recv():
+    """One-sided read vs two-sided request/reply for a small payload."""
+    def prog_verbs(ctx):
+        v = ctx.mpi.verbs
+        v.reg_mr("w", np.arange(4, dtype=float))
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            t0 = ctx.now
+            for _ in range(16):
+                yield from v.rdma_read(1, "w", 0, 4)
+            yield from ctx.mpi.barrier()
+            return (ctx.now - t0) / 16
+        yield from ctx.mpi.barrier()
+        return None
+
+    def prog_mpi(ctx):
+        yield from ctx.mpi.barrier()
+        if ctx.rank == 0:
+            t0 = ctx.now
+            for _ in range(16):
+                yield from ctx.mpi.send(1, 0, tag=1)
+                yield from ctx.mpi.recv(1, tag=2)
+            return (ctx.now - t0) / 16
+        for _ in range(16):
+            yield from ctx.mpi.recv(0, tag=1)
+            yield from ctx.mpi.send(0, np.arange(4, dtype=float),
+                                    tag=2)
+        return None
+
+    t_verbs = run_mpi(2, prog_verbs).values[0]
+    t_mpi = run_mpi(2, prog_mpi).values[0]
+    assert t_verbs < 0.7 * t_mpi
+
+
+def test_concurrent_rdma_writes_from_many_ranks():
+    def prog(ctx):
+        v = ctx.mpi.verbs
+        buf = np.zeros(8)
+        v.reg_mr("slots", buf)
+        yield from ctx.mpi.barrier()
+        if ctx.rank != 0:
+            yield from v.rdma_write(0, "slots", ctx.rank,
+                                    np.array([float(ctx.rank)]))
+        yield from ctx.mpi.barrier()
+        return buf.copy()
+
+    res = run_mpi(8, prog)
+    assert res.values[0][1:8].tolist() == [float(r) for r in range(1, 8)]

@@ -1,0 +1,66 @@
+"""Tests for the distributed four-step FFT kernel."""
+
+import numpy as np
+import pytest
+
+from repro.core import ClusterSpec
+from repro.kernels import run_fft1d
+from repro.kernels.fft1d import make_input, serial_fft_reference
+
+
+@pytest.mark.parametrize("fabric", ["dv", "mpi"])
+@pytest.mark.parametrize("n_nodes", [1, 2, 4])
+def test_fft_matches_numpy(fabric, n_nodes):
+    spec = ClusterSpec(n_nodes=n_nodes)
+    r = run_fft1d(spec, fabric, log2_points=10, validate=True)
+    assert r["valid"], f"max error {r['max_error']}"
+
+
+@pytest.mark.parametrize("log2p", [8, 12, 14])
+def test_fft_sizes(log2p):
+    spec = ClusterSpec(n_nodes=4)
+    r = run_fft1d(spec, "dv", log2_points=log2p, validate=True)
+    assert r["valid"]
+    assert r["n_points"] == 1 << log2p
+
+
+def test_fft_rejects_indivisible_layout():
+    # 2^8 -> n1 = n2 = 16; 12 ranks do not divide 16
+    with pytest.raises(ValueError):
+        run_fft1d(ClusterSpec(n_nodes=12), "dv", log2_points=8)
+
+
+def test_fft_input_deterministic():
+    assert np.array_equal(make_input(5, 64), make_input(5, 64))
+    assert not np.array_equal(make_input(5, 64), make_input(6, 64))
+
+
+def test_fft_reference_is_numpy():
+    x = make_input(1, 128)
+    assert np.allclose(serial_fft_reference(x), np.fft.fft(x))
+
+
+def test_fft_gflops_scale_with_nodes():
+    vals = []
+    for n in (2, 8):
+        r = run_fft1d(ClusterSpec(n_nodes=n), "dv", log2_points=14)
+        vals.append(r["gflops"])
+    assert vals[1] > 1.5 * vals[0]
+
+
+def test_fft_dv_wins_and_gap_widens():
+    """The Fig. 7 shape at two scales."""
+    ratios = []
+    for n in (4, 16):
+        spec = ClusterSpec(n_nodes=n)
+        dv = run_fft1d(spec, "dv", log2_points=16)
+        ib = run_fft1d(spec, "mpi", log2_points=16)
+        ratios.append(dv["gflops"] / ib["gflops"])
+    assert ratios[1] > ratios[0]
+
+
+def test_fft_deterministic():
+    spec = ClusterSpec(n_nodes=4)
+    a = run_fft1d(spec, "mpi", log2_points=12)
+    b = run_fft1d(spec, "mpi", log2_points=12)
+    assert a["elapsed_s"] == b["elapsed_s"]

@@ -1,0 +1,215 @@
+"""Tests for the Kronecker generator and distributed BFS."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ClusterSpec
+from repro.kernels import kronecker_edges, run_bfs
+from repro.kernels.bfs import (serial_bfs, validate_parent_tree,
+                               _NO_PARENT, _pack_pairs, _unpack_pairs)
+from repro.kernels.kronecker import degrees, to_csr
+from repro.sim.rng import rng_for
+
+
+# ------------------------------------------------------------ generator ---
+
+def test_kronecker_shape_and_range():
+    edges = kronecker_edges(8, 16, np.random.default_rng(0))
+    assert edges.shape == (2, 16 * 256)
+    assert edges.min() >= 0 and edges.max() < 256
+
+
+def test_kronecker_deterministic_with_seeded_rng():
+    a = kronecker_edges(8, 8, np.random.default_rng(42))
+    b = kronecker_edges(8, 8, np.random.default_rng(42))
+    assert np.array_equal(a, b)
+
+
+def test_kronecker_power_law_skew():
+    """The generator must produce the hub-dominated degree distribution
+    that makes BFS irregular."""
+    edges = kronecker_edges(12, 16, np.random.default_rng(1),
+                            permute=False)
+    deg = degrees(edges, 1 << 12)
+    assert deg.max() > 20 * deg.mean()
+    assert (deg == 0).sum() > 0  # isolated vertices exist
+
+
+def test_kronecker_validates_args():
+    with pytest.raises(ValueError):
+        kronecker_edges(0)
+    with pytest.raises(ValueError):
+        kronecker_edges(4, 0)
+
+
+def test_to_csr_symmetrises_and_strips_loops():
+    edges = np.array([[0, 1, 2, 2], [1, 2, 2, 0]])  # one self-loop
+    offsets, targets = to_csr(edges, 3)
+    assert offsets[-1] == targets.size == 6  # 3 non-loop edges, doubled
+    # vertex 2's neighbours are 1 and 0
+    nbrs = sorted(targets[offsets[2]:offsets[3]])
+    assert nbrs == [0, 1]
+
+
+@given(st.integers(4, 9), st.integers(1, 8))
+@settings(max_examples=20, deadline=None)
+def test_property_csr_degree_conservation(scale, edgefactor):
+    rng = np.random.default_rng(scale * 100 + edgefactor)
+    edges = kronecker_edges(scale, edgefactor, rng)
+    n = 1 << scale
+    offsets, targets = to_csr(edges, n)
+    not_loop = (edges[0] != edges[1]).sum()
+    assert targets.size == 2 * not_loop
+    assert offsets[0] == 0 and offsets[-1] == targets.size
+    assert np.all(np.diff(offsets) >= 0)
+
+
+# ---------------------------------------------------------- pair packing ---
+
+@given(st.lists(st.tuples(st.integers(0, 2**31 - 1),
+                          st.integers(0, 2**31 - 1)),
+                min_size=1, max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_property_pair_packing_roundtrip(pairs):
+    child = np.array([p[0] for p in pairs], np.int64)
+    parent = np.array([p[1] for p in pairs], np.int64)
+    c, p = _unpack_pairs(_pack_pairs(child, parent))
+    assert np.array_equal(c, child)
+    assert np.array_equal(p, parent)
+
+
+# ------------------------------------------------------------ serial BFS ---
+
+def line_graph(n):
+    edges = np.array([np.arange(n - 1), np.arange(1, n)])
+    return to_csr(edges, n)
+
+
+def test_serial_bfs_line_graph():
+    offsets, targets = line_graph(6)
+    parent = serial_bfs(offsets, targets, 0)
+    assert parent.tolist() == [0, 0, 1, 2, 3, 4]
+
+
+def test_serial_bfs_unreachable_vertices():
+    edges = np.array([[0], [1]])
+    offsets, targets = to_csr(edges, 4)
+    parent = serial_bfs(offsets, targets, 0)
+    assert parent[2] == _NO_PARENT and parent[3] == _NO_PARENT
+
+
+def test_validator_accepts_serial_result():
+    rng = np.random.default_rng(3)
+    edges = kronecker_edges(8, 8, rng)
+    offsets, targets = to_csr(edges, 256)
+    deg = np.diff(offsets)
+    root = int(np.flatnonzero(deg > 0)[0])
+    parent = serial_bfs(offsets, targets, root)
+    assert validate_parent_tree(offsets, targets, root, parent)
+
+
+def test_validator_rejects_corrupted_tree():
+    offsets, targets = line_graph(6)
+    parent = serial_bfs(offsets, targets, 0)
+    bad = parent.copy()
+    bad[3] = 5                      # parent not adjacent / wrong level
+    assert not validate_parent_tree(offsets, targets, 0, bad)
+    bad2 = parent.copy()
+    bad2[5] = _NO_PARENT            # reachable vertex left unvisited
+    assert not validate_parent_tree(offsets, targets, 0, bad2)
+
+
+def test_validator_rejects_wrong_root():
+    offsets, targets = line_graph(4)
+    parent = serial_bfs(offsets, targets, 0)
+    parent[0] = 1
+    assert not validate_parent_tree(offsets, targets, 0, parent)
+
+
+# ------------------------------------------------------- distributed BFS ---
+
+@pytest.mark.parametrize("fabric", ["dv", "mpi"])
+@pytest.mark.parametrize("n_nodes", [1, 2, 4])
+def test_distributed_bfs_valid_parent_trees(fabric, n_nodes):
+    spec = ClusterSpec(n_nodes=n_nodes)
+    r = run_bfs(spec, fabric, scale=9, n_roots=2, validate=True)
+    assert r["valid"]
+    assert r["harmonic_teps"] > 0
+
+
+def test_bfs_both_fabrics_traverse_same_edges():
+    spec = ClusterSpec(n_nodes=4)
+    dv = run_bfs(spec, "dv", scale=9, n_roots=2)
+    ib = run_bfs(spec, "mpi", scale=9, n_roots=2)
+    # identical graph and roots => identical per-root work; only the
+    # timing differs.  TEPS ratios stay finite and sane.
+    for a, b in zip(dv["per_root_teps"], ib["per_root_teps"]):
+        assert 0.1 < a / b < 10
+
+
+def test_bfs_deterministic():
+    spec = ClusterSpec(n_nodes=2, seed=99)
+    a = run_bfs(spec, "dv", scale=9, n_roots=1)
+    b = run_bfs(spec, "dv", scale=9, n_roots=1)
+    assert a["harmonic_teps"] == b["harmonic_teps"]
+
+
+@given(st.integers(5, 8), st.integers(0, 1000))
+@settings(max_examples=15, deadline=None)
+def test_property_distributed_bfs_equals_serial(scale, seed):
+    """On random small Kronecker graphs, the distributed DV BFS visits
+    exactly the serial BFS's component with a valid tree."""
+    spec = ClusterSpec(n_nodes=2, seed=seed)
+    r = run_bfs(spec, "dv", scale=scale, edgefactor=4, n_roots=1,
+                validate=True)
+    assert r["valid"]
+
+
+# ---------------------------------------------- direction optimisation ---
+
+@pytest.mark.parametrize("fabric", ["dv", "mpi"])
+@pytest.mark.parametrize("n_nodes", [1, 2, 4])
+def test_diropt_bfs_valid_parent_trees(fabric, n_nodes):
+    spec = ClusterSpec(n_nodes=n_nodes)
+    r = run_bfs(spec, fabric, scale=9, n_roots=2, strategy="diropt",
+                validate=True)
+    assert r["valid"]
+
+
+def test_diropt_faster_on_dense_kronecker():
+    """Bottom-up levels skip the huge mid-level pair traffic."""
+    spec = ClusterSpec(n_nodes=4)
+    td = run_bfs(spec, "dv", scale=12, n_roots=2, strategy="topdown")
+    do = run_bfs(spec, "dv", scale=12, n_roots=2, strategy="diropt")
+    assert do["harmonic_teps"] > td["harmonic_teps"]
+
+
+def test_bfs_strategy_validation():
+    with pytest.raises(ValueError):
+        run_bfs(ClusterSpec(n_nodes=2), "dv", strategy="sideways")
+
+
+def test_bottom_up_scan_unit():
+    from repro.kernels.bfs import (_LocalGraph, _bottom_up_scan,
+                                   _frontier_bitmap)
+    offsets, targets = line_graph(6)
+    g = _LocalGraph(offsets, targets, 0, 1)
+    g.parent[2] = 2   # pretend vertex 2 is the frontier
+    bm = _frontier_bitmap(g, np.array([2]), 6)
+    new, parents, examined = _bottom_up_scan(g, bm)
+    # unvisited neighbours of 2 are 1 and 3
+    assert sorted(new.tolist()) == [1, 3]
+    assert all(p == 2 for p in parents)
+    assert examined > 0
+
+
+def test_frontier_bitmap_bits():
+    from repro.kernels.bfs import _LocalGraph, _frontier_bitmap
+    offsets, targets = line_graph(130)
+    g = _LocalGraph(offsets, targets, 0, 1)
+    bm = _frontier_bitmap(g, np.array([0, 63, 64, 129]), 130)
+    got = [v for v in range(130)
+           if (int(bm[v >> 6]) >> (v & 63)) & 1]
+    assert got == [0, 63, 64, 129]

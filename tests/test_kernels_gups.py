@@ -1,0 +1,112 @@
+"""Tests for the GUPS kernel: correctness on both fabrics and the
+scaling behaviour the paper reports."""
+
+import numpy as np
+import pytest
+
+from repro.core import ClusterSpec
+from repro.kernels import run_gups
+from repro.kernels.gups import _apply, _pack, serial_gups_table
+
+
+# ------------------------------------------------------------- packing ---
+
+def test_pack_apply_roundtrip():
+    table = np.zeros(16, np.uint64)
+    idx = np.array([3, 7, 3], np.int64)
+    val = np.array([0xAAAA, 0xBBBB, 0xAAAA], np.uint64)
+    _apply(table, _pack(idx, val))
+    # XOR twice at index 3 cancels
+    assert table[3] == 0
+    assert table[7] == 0xBBBB
+
+
+def test_serial_reference_deterministic():
+    a = serial_gups_table(7, size=2, table_words=128, n_updates=64)
+    b = serial_gups_table(7, size=2, table_words=128, n_updates=64)
+    assert np.array_equal(a, b)
+    c = serial_gups_table(8, size=2, table_words=128, n_updates=64)
+    assert not np.array_equal(a, c)
+
+
+# -------------------------------------------------------------- kernels ---
+
+@pytest.mark.parametrize("fabric", ["dv", "mpi"])
+@pytest.mark.parametrize("n_nodes", [1, 2, 4])
+def test_gups_table_matches_serial_replay(fabric, n_nodes):
+    """XOR updates commute, so the distributed end state must equal the
+    serial replay exactly, whatever the delivery order."""
+    spec = ClusterSpec(n_nodes=n_nodes)
+    r = run_gups(spec, fabric, table_words=1 << 10, n_updates=1 << 9,
+                 validate=True)
+    assert r["valid"]
+
+
+@pytest.mark.parametrize("fabric", ["dv", "mpi"])
+def test_gups_rates_positive_and_consistent(fabric):
+    r = run_gups(ClusterSpec(n_nodes=4), fabric, table_words=1 << 10,
+                 n_updates=1 << 9)
+    assert r["mups_total"] > 0
+    assert r["mups_per_pe"] == pytest.approx(r["mups_total"] / 4)
+
+
+def test_gups_window_cap_enforced():
+    with pytest.raises(ValueError, match="1024"):
+        run_gups(ClusterSpec(n_nodes=2), "mpi", window=2048)
+    with pytest.raises(ValueError):
+        run_gups(ClusterSpec(n_nodes=2), "mpi", window=0)
+
+
+def test_gups_dv_beats_mpi_at_scale():
+    spec = ClusterSpec(n_nodes=8)
+    dv = run_gups(spec, "dv", table_words=1 << 11, n_updates=1 << 10)
+    mpi = run_gups(spec, "mpi", table_words=1 << 11, n_updates=1 << 10)
+    assert dv["mups_total"] > mpi["mups_total"]
+
+
+def test_gups_source_aggregation_correct_without_it():
+    """Disabling aggregation must change timing, never results."""
+    spec = ClusterSpec(n_nodes=4)
+    on = run_gups(spec, "dv", table_words=1 << 10, n_updates=1 << 9,
+                  aggregate=True, validate=True)
+    off = run_gups(spec, "dv", table_words=1 << 10, n_updates=1 << 9,
+                   aggregate=False, validate=True)
+    assert on["valid"] and off["valid"]
+    assert on["elapsed_s"] < off["elapsed_s"]
+
+
+def test_gups_smaller_window_slower_mpi():
+    spec = ClusterSpec(n_nodes=4)
+    small = run_gups(spec, "mpi", table_words=1 << 10,
+                     n_updates=1 << 9, window=64)
+    big = run_gups(spec, "mpi", table_words=1 << 10,
+                   n_updates=1 << 9, window=1024)
+    assert big["mups_total"] > small["mups_total"]
+
+
+def test_gups_deterministic_across_runs():
+    spec = ClusterSpec(n_nodes=4, seed=123)
+    a = run_gups(spec, "dv", table_words=1 << 10, n_updates=1 << 9)
+    b = run_gups(spec, "dv", table_words=1 << 10, n_updates=1 << 9)
+    assert a["elapsed_s"] == b["elapsed_s"]
+    assert a["mups_total"] == b["mups_total"]
+
+
+@pytest.mark.parametrize("n_nodes", [1, 2, 4])
+def test_verbs_gups_matches_serial_replay(n_nodes):
+    """The RDMA staging-ring implementation must produce the identical
+    table (it is by far the most delicate of the three)."""
+    spec = ClusterSpec(n_nodes=n_nodes)
+    r = run_gups(spec, "verbs", table_words=1 << 10, n_updates=1 << 9,
+                 validate=True)
+    assert r["valid"]
+
+
+def test_gups_fabric_ordering():
+    """MPI < verbs < DV in update rate at scale (paper SS VIII: verbs
+    trades coding effort for part of the gap)."""
+    spec = ClusterSpec(n_nodes=8)
+    rates = {f: run_gups(spec, f, table_words=1 << 13,
+                         n_updates=1 << 13)["mups_per_pe"]
+             for f in ("mpi", "verbs", "dv")}
+    assert rates["mpi"] < rates["verbs"] < rates["dv"]

@@ -1,0 +1,96 @@
+"""Tests for the ping-pong and barrier micro-benchmark kernels."""
+
+import pytest
+
+from repro.core import ClusterSpec
+from repro.kernels import run_barrier_bench, run_pingpong
+from repro.kernels.barrier_bench import BARRIER_IMPLS
+from repro.kernels.pingpong import PINGPONG_MODES
+
+
+@pytest.fixture(scope="module")
+def spec2():
+    return ClusterSpec(n_nodes=2)
+
+
+# ------------------------------------------------------------- ping-pong ---
+
+@pytest.mark.parametrize("mode", PINGPONG_MODES)
+def test_pingpong_runs_all_modes(spec2, mode):
+    r = run_pingpong(spec2, mode, n_words=64, iters=2)
+    assert r["bandwidth"] > 0
+    assert r["one_way_s"] > 0
+    assert r["mode"] == mode
+
+
+def test_pingpong_bandwidth_monotone_with_size(spec2):
+    """Bandwidth must rise with message size for every mode (latency
+    amortisation)."""
+    for mode in PINGPONG_MODES:
+        bws = [run_pingpong(spec2, mode, n, iters=2)["bandwidth"]
+               for n in (16, 256, 4096)]
+        assert bws == sorted(bws), mode
+
+
+def test_pingpong_dma_beats_direct_write_for_bulk(spec2):
+    dma = run_pingpong(spec2, "dma_cached", 1 << 14, iters=2)
+    dwr = run_pingpong(spec2, "dwr_cached", 1 << 14, iters=2)
+    assert dma["bandwidth"] > 2 * dwr["bandwidth"]
+
+
+def test_pingpong_cached_headers_beat_uncached(spec2):
+    c = run_pingpong(spec2, "dwr_cached", 1 << 12, iters=2)
+    nc = run_pingpong(spec2, "dwr_nocached", 1 << 12, iters=2)
+    assert c["bandwidth"] > nc["bandwidth"]
+
+
+def test_pingpong_validates_arguments(spec2):
+    with pytest.raises(ValueError):
+        run_pingpong(spec2, "smoke_signals", 8)
+    with pytest.raises(ValueError):
+        run_pingpong(spec2, "mpi", 0)
+    with pytest.raises(ValueError):
+        run_pingpong(ClusterSpec(n_nodes=1), "mpi", 8)
+
+
+def test_pingpong_runs_on_larger_cluster():
+    """Extra idle nodes must not interfere with the two-node exchange."""
+    spec = ClusterSpec(n_nodes=8)
+    r = run_pingpong(spec, "dma_cached", 256, iters=2)
+    assert r["bandwidth"] > 0
+
+
+# --------------------------------------------------------------- barrier ---
+
+@pytest.mark.parametrize("impl", BARRIER_IMPLS)
+def test_barrier_bench_runs(impl):
+    r = run_barrier_bench(ClusterSpec(n_nodes=4), impl, iters=4)
+    assert r["latency_s"] > 0
+    assert r["latency_us"] == pytest.approx(r["latency_s"] * 1e6)
+
+
+def test_barrier_bench_validates_arguments():
+    with pytest.raises(ValueError):
+        run_barrier_bench(ClusterSpec(n_nodes=2), "semaphore")
+    with pytest.raises(ValueError):
+        run_barrier_bench(ClusterSpec(n_nodes=2), "dv", iters=0)
+
+
+def test_dv_barrier_flat_mpi_barrier_grows():
+    """The Fig. 4 shape in miniature."""
+    lat = {impl: {} for impl in ("dv", "mpi")}
+    for n in (2, 16):
+        spec = ClusterSpec(n_nodes=n)
+        for impl in ("dv", "mpi"):
+            lat[impl][n] = run_barrier_bench(spec, impl,
+                                             iters=6)["latency_s"]
+    assert lat["dv"][16] < 2.0 * lat["dv"][2]
+    assert lat["mpi"][16] > 2.0 * lat["mpi"][2]
+    assert lat["mpi"][16] > 3.0 * lat["dv"][16]
+
+
+def test_fast_barrier_close_to_hardware_barrier():
+    spec = ClusterSpec(n_nodes=8)
+    hw = run_barrier_bench(spec, "dv", iters=6)["latency_s"]
+    fast = run_barrier_bench(spec, "dv_fast", iters=6)["latency_s"]
+    assert fast < 5 * hw

@@ -1,0 +1,144 @@
+"""Tests for the shared transpose primitive and the FFT-2D kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ClusterSpec, run_spmd
+from repro.kernels import run_fft2d
+from repro.kernels.fft2d import fft2d_flops, make_input
+from repro.kernels.transpose import (c2w, dv_transpose_batch,
+                                     mpi_transpose, w2c)
+
+
+# ----------------------------------------------------------- word views ---
+
+def test_c2w_w2c_roundtrip():
+    z = np.arange(12, dtype=np.complex128).reshape(3, 4) * (1 + 2j)
+    w = c2w(z)
+    assert w.dtype == np.uint64 and w.size == 24
+    assert np.array_equal(w2c(w, (3, 4)), z)
+
+
+@given(st.integers(1, 5), st.integers(1, 5))
+@settings(max_examples=30, deadline=None)
+def test_property_word_view_roundtrip(r, c):
+    rng = np.random.default_rng(r * 10 + c)
+    z = rng.standard_normal((r, c)) + 1j * rng.standard_normal((r, c))
+    assert np.array_equal(w2c(c2w(z), (r, c)), z)
+
+
+# -------------------------------------------------------------- transpose ---
+
+def _run_transpose(fabric, n, P, batch=1, seed=0):
+    rng = np.random.default_rng(seed)
+    m = rng.standard_normal((batch, n, n)) \
+        + 1j * rng.standard_normal((batch, n, n))
+    spec = ClusterSpec(n_nodes=P)
+
+    def program(ctx):
+        rows = n // P
+        blocks = [m[f, ctx.rank * rows:(ctx.rank + 1) * rows].copy()
+                  for f in range(batch)]
+        if fabric == "dv":
+            out = yield from dv_transpose_batch(ctx, blocks, n)
+        else:
+            out = []
+            for b in blocks:
+                out.append((yield from mpi_transpose(ctx, b, n)))
+        yield from ctx.barrier()
+        return out
+
+    res = run_spmd(spec, program, fabric)
+    got = [np.concatenate([res.values[r][f] for r in range(P)], axis=0)
+           for f in range(batch)]
+    return m, got
+
+
+@pytest.mark.parametrize("fabric", ["dv", "mpi"])
+@pytest.mark.parametrize("P", [1, 2, 4])
+def test_transpose_correct(fabric, P):
+    m, got = _run_transpose(fabric, n=16, P=P)
+    assert np.array_equal(got[0], m[0].T)
+
+
+def test_dv_transpose_multi_field_batch():
+    m, got = _run_transpose("dv", n=8, P=2, batch=3)
+    for f in range(3):
+        assert np.array_equal(got[f], m[f].T)
+
+
+def test_dv_batched_transpose_cheaper_than_sequential():
+    """Batching four fields through one phase must beat four phases."""
+    n, P = 64, 8
+    rng = np.random.default_rng(1)
+    fields = rng.standard_normal((4, n, n)) + 0j
+    spec = ClusterSpec(n_nodes=P)
+
+    def prog(batched):
+        def program(ctx):
+            rows = n // P
+            blocks = [fields[f, ctx.rank * rows:(ctx.rank + 1) * rows]
+                      .copy() for f in range(4)]
+            yield from ctx.barrier()
+            ctx.mark("t0")
+            if batched:
+                yield from dv_transpose_batch(ctx, blocks, n)
+            else:
+                for b in blocks:
+                    yield from dv_transpose_batch(ctx, [b], n)
+            return ctx.since("t0")
+        return max(run_spmd(spec, program, "dv").values)
+
+    assert prog(batched=True) < prog(batched=False)
+
+
+def test_transpose_shape_validation():
+    spec = ClusterSpec(n_nodes=2)
+
+    def program(ctx):
+        yield from ctx.sleep(0)
+        with pytest.raises(ValueError):
+            yield from mpi_transpose(ctx, np.zeros((3, 7), complex), 7)
+        return True
+
+    # need mpi fabric for mpi_transpose path
+    assert run_spmd(spec, program, "mpi").values[0]
+
+
+# ------------------------------------------------------------------ fft2d ---
+
+@pytest.mark.parametrize("fabric", ["dv", "mpi"])
+@pytest.mark.parametrize("restore", [True, False])
+def test_fft2d_matches_numpy(fabric, restore):
+    spec = ClusterSpec(n_nodes=4)
+    r = run_fft2d(spec, fabric, n=32, restore_layout=restore,
+                  validate=True)
+    assert r["valid"], r["max_rel_error"]
+
+
+def test_fft2d_single_rank():
+    r = run_fft2d(ClusterSpec(n_nodes=1), "dv", n=16, validate=True)
+    assert r["valid"]
+
+
+def test_fft2d_divisibility_guard():
+    with pytest.raises(ValueError):
+        run_fft2d(ClusterSpec(n_nodes=3), "dv", n=16)
+
+
+def test_fft2d_flop_count():
+    # 2n transforms of length n
+    assert fft2d_flops(8) == 2 * 8 * (5 * 8 * 3)
+
+
+def test_fft2d_input_deterministic():
+    assert np.array_equal(make_input(3, 16), make_input(3, 16))
+
+
+def test_fft2d_dv_faster_at_scale():
+    spec = ClusterSpec(n_nodes=8)
+    dv = run_fft2d(spec, "dv", n=256)
+    ib = run_fft2d(spec, "mpi", n=256)
+    assert dv["gflops"] > ib["gflops"]

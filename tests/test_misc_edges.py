@@ -1,0 +1,142 @@
+"""Edge-branch tests across modules (conditions on settled events,
+flow-model load accounting, registry runners, table formatting)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ClusterSpec, Table
+from repro.core.experiments import run_experiment
+from repro.dv import DVConfig, FlowNetwork
+from repro.sim import Engine
+
+
+# ------------------------------------------------------------ conditions ---
+
+def test_allof_with_already_processed_children():
+    eng = Engine()
+    done = eng.timeout(1.0, "early")
+    eng.run()
+    assert done.processed
+
+    def body(eng):
+        vals = yield eng.all_of([done, eng.timeout(2.0, "late")])
+        return vals
+
+    p = eng.process(body(eng))
+    eng.run()
+    assert p.value == ["early", "late"]
+
+
+def test_anyof_with_already_processed_child_wins():
+    eng = Engine()
+    done = eng.timeout(1.0, "early")
+    eng.run()
+
+    def body(eng):
+        idx, val = yield eng.any_of([eng.timeout(5.0), done])
+        return (idx, val)
+
+    p = eng.process(body(eng))
+    eng.run()
+    assert p.value == (1, "early")
+
+
+def test_nested_conditions():
+    eng = Engine()
+
+    def body(eng):
+        inner = eng.all_of([eng.timeout(1.0, "a"), eng.timeout(2.0, "b")])
+        idx, val = yield eng.any_of([inner, eng.timeout(10.0)])
+        return (idx, val, eng.now)
+
+    p = eng.process(body(eng))
+    eng.run()
+    assert p.value == (0, ["a", "b"], 2.0)
+
+
+# ------------------------------------------------------------ flow model ---
+
+def test_flow_load_estimate_rises_with_busy_ports():
+    eng = Engine()
+    net = FlowNetwork(eng, DVConfig(), 8)
+    for p in range(8):
+        net.attach(p, lambda s, pl, n: None)
+    assert net._load(eng.now) == 0.0
+    net.transmit(0, 1, 100000)
+    net.transmit(2, 3, 100000)
+    assert net._load(eng.now) == pytest.approx(2 / 8)
+    eng.run()
+    assert net._load(eng.now) == 0.0
+
+
+def test_flow_time_of_flight_penalised_under_load():
+    eng = Engine()
+    net = FlowNetwork(eng, DVConfig(), 8)
+    for p in range(8):
+        net.attach(p, lambda s, pl, n: None)
+    t_idle = net.time_of_flight(0, 5, eng.now)
+    net.transmit(1, 2, 1_000_000)
+    t_busy = net.time_of_flight(0, 5, eng.now)
+    assert t_busy > t_idle
+    eng.run()
+
+
+# -------------------------------------------------------------- registry ---
+
+def test_run_experiment_fig3_tiny():
+    t = run_experiment("fig3a", sizes=[1, 64])
+    assert t.column("words") == [1, 64]
+    # every mode produced a positive bandwidth
+    for mode in t.columns[1:]:
+        assert all(v > 0 for v in t.column(mode))
+
+
+def test_run_experiment_fig9_small_cluster():
+    t = run_experiment("fig9", n_nodes=4)
+    apps = t.column("application")
+    assert apps == ["SNAP", "Vorticity", "Heat"]
+    assert all(v > 0 for v in t.column("speedup"))
+
+
+# ----------------------------------------------------------------- table ---
+
+def test_table_formatting_extremes():
+    t = Table("fmt", ["a"])
+    t.add_row(0.0)
+    t.add_row(1234567.0)
+    t.add_row(0.00001)
+    t.add_row("text")
+    text = t.render()
+    assert "0" in text and "1.23e+06" in text and "1e-05" in text
+    assert "text" in text
+
+
+def test_table_column_unknown_raises():
+    t = Table("t", ["a"])
+    with pytest.raises(ValueError):
+        t.column("b")
+
+
+# ------------------------------------------------------------- fifo edge ---
+
+def test_fifo_pop_with_sources_after_partial_pop():
+    from repro.dv.fifo import SurpriseFIFO
+    f = SurpriseFIFO(Engine(), capacity=100)
+    f.push(np.array([1, 2, 3], np.uint64), src=4)
+    f.pop(1)
+    batches = f.pop_with_sources()
+    assert [(s, v.tolist()) for s, v in batches] == [(4, [2, 3])]
+
+
+# ----------------------------------------------------------- cluster edge ---
+
+def test_net_stats_exposed_per_fabric():
+    from repro.core import run_spmd
+
+    def prog(ctx):
+        yield from ctx.barrier()
+
+    dv = run_spmd(ClusterSpec(n_nodes=4), prog, "dv")
+    assert dv.net_stats.packets_sent > 0
+    ib = run_spmd(ClusterSpec(n_nodes=4), prog, "mpi")
+    assert ib.net_stats.messages > 0
