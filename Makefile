@@ -1,0 +1,22 @@
+# Convenience targets for the reproduction repo.  The package is run
+# from the source tree (no install needed): every target exports
+# PYTHONPATH=src.
+
+PYTHON  ?= python
+PYTEST   = PYTHONPATH=src $(PYTHON) -m pytest
+
+.PHONY: test test-all obs help
+
+help:
+	@echo "make test      - fast test suite (excludes tests marked 'slow')"
+	@echo "make test-all  - full test suite, slow overhead guards included"
+	@echo "make obs       - example unified observability report (JSON)"
+
+test:
+	$(PYTEST) -x -q -m "not slow"
+
+test-all:
+	$(PYTEST) -x -q
+
+obs:
+	PYTHONPATH=src $(PYTHON) -m repro.cli obs --nodes 4

@@ -6,6 +6,7 @@ Usage::
     python -m repro.cli fig6 --nodes 4,8
     python -m repro.cli fig9
     python -m repro.cli chase --nodes 8 --hops 256
+    python -m repro.cli obs --nodes 4        # unified metrics report (JSON)
     python -m repro.cli list
 
 Each subcommand prints the figure's data as an aligned table (the same
@@ -152,6 +153,15 @@ def cmd_spmv(args) -> Table:
     return t
 
 
+def cmd_obs(args) -> str:
+    """Unified observability report: one GUPS run per fabric plus a
+    cycle-accurate switch-traffic sample, every layer's counters and
+    histograms in one JSON (or CSV with ``--csv``) document."""
+    from repro.obs.report import gups_report
+    return gups_report(n_nodes=min(args.nodes), seed=args.seed,
+                       fmt="csv" if args.csv else "json")
+
+
 def cmd_scaling(args) -> Table:
     from repro.core.scaling import switch_scaling
     points = switch_scaling()
@@ -174,6 +184,7 @@ COMMANDS = {
     "chase": cmd_chase,
     "spmv": cmd_spmv,
     "scaling": cmd_scaling,
+    "obs": cmd_obs,
 }
 
 
@@ -212,7 +223,11 @@ def main(argv=None) -> int:
         for name in COMMANDS:
             print(name)
         return 0
-    table = COMMANDS[args.command](args)
+    result = COMMANDS[args.command](args)
+    if isinstance(result, str):   # e.g. 'obs' emits a report document
+        print(result)
+        return 0
+    table = result
     print(table.to_csv() if args.csv else table.render())
     if args.plot:
         from repro.core.asciiplot import plot_table

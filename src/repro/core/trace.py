@@ -7,70 +7,26 @@ timelines of computation (blue), MPI calls (other colours) and messages
 and can render an ASCII timeline good enough to exhibit the paper's
 qualitative point: GUPS communication has no destination regularity to
 exploit.
+
+Recording and storage live in :class:`repro.obs.tracing.SpanTracer`
+(the unified observability layer, which also mirrors span durations
+into ``trace.span_seconds`` histograms when a metrics registry is
+active); this class adds the paper-specific analysis and rendering.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
+
+from repro.obs.tracing import MessageArrow, Span, SpanTracer
+
+__all__ = ["Span", "MessageArrow", "Tracer"]
 
 
-@dataclass(frozen=True)
-class Span:
-    """A traced activity region on one rank's timeline."""
-
-    rank: int
-    t0: float
-    t1: float
-    kind: str           # e.g. "compute", "mpi", "dv", "barrier"
-    label: str = ""
-
-    @property
-    def duration(self) -> float:
-        return self.t1 - self.t0
-
-
-@dataclass(frozen=True)
-class MessageArrow:
-    """A point-to-point message for the timeline's arrow overlay."""
-
-    src: int
-    dst: int
-    t: float
-    nbytes: int = 0
-
-
-class Tracer:
-    """Accumulates spans and message arrows during a run."""
-
-    def __init__(self, enabled: bool = True) -> None:
-        self.enabled = enabled
-        self.spans: List[Span] = []
-        self.messages: List[MessageArrow] = []
-
-    def span(self, rank: int, t0: float, t1: float, kind: str,
-             label: str = "") -> None:
-        if not self.enabled:
-            return
-        if t1 < t0:
-            raise ValueError("span ends before it starts")
-        self.spans.append(Span(rank, t0, t1, kind, label))
-
-    def message(self, src: int, dst: int, t: float, nbytes: int = 0) -> None:
-        if not self.enabled:
-            return
-        self.messages.append(MessageArrow(src, dst, t, nbytes))
+class Tracer(SpanTracer):
+    """Span/message recorder plus Fig. 5 analysis and ASCII rendering."""
 
     # -- analysis ----------------------------------------------------------
-    def time_by_kind(self, rank: Optional[int] = None) -> Dict[str, float]:
-        """Total traced seconds per activity kind (optionally one rank)."""
-        out: Dict[str, float] = {}
-        for s in self.spans:
-            if rank is not None and s.rank != rank:
-                continue
-            out[s.kind] = out.get(s.kind, 0.0) + s.duration
-        return out
-
     def destination_runs(self) -> List[int]:
         """Lengths of runs of consecutive messages (in time order, per
         source) to the same destination.
@@ -133,24 +89,6 @@ class Tracer:
         header = (f"timeline {lo * 1e6:.1f}us .. {hi * 1e6:.1f}us   "
                   f"({legend})")
         return "\n".join([header] + rows)
-
-    def to_rows(self) -> List[Tuple]:
-        """Spans as plain tuples (for CSV export in the harness)."""
-        return [(s.rank, s.t0, s.t1, s.kind, s.label) for s in self.spans]
-
-    def spans_csv(self) -> str:
-        """Spans as CSV text (Paraver-style flat export)."""
-        lines = ["rank,t0,t1,kind,label"]
-        for s in sorted(self.spans, key=lambda s: (s.rank, s.t0)):
-            lines.append(f"{s.rank},{s.t0!r},{s.t1!r},{s.kind},{s.label}")
-        return "\n".join(lines)
-
-    def messages_csv(self) -> str:
-        """Message arrows as CSV text."""
-        lines = ["src,dst,t,nbytes"]
-        for m in sorted(self.messages, key=lambda m: m.t):
-            lines.append(f"{m.src},{m.dst},{m.t!r},{m.nbytes}")
-        return "\n".join(lines)
 
     def busy_fraction(self, rank: int, kind: str,
                       t0: Optional[float] = None,

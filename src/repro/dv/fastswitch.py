@@ -29,7 +29,7 @@ from typing import Deque, List, Optional, Tuple
 
 import numpy as np
 
-from repro.dv.switch import Ejection, SwitchStats
+from repro.dv.switch import Ejection, SwitchObs, SwitchStats
 from repro.dv.topology import DataVortexTopology
 
 _EMPTY = -1
@@ -67,6 +67,7 @@ class FastCycleSwitch:
             [[t.height_bit(h, c) for h in range(t.height)]
              for c in range(t.levels)], np.int64)
         self.stats = SwitchStats()
+        self._obs = SwitchObs.create("fast")
 
     # -- plumbing ------------------------------------------------------------
     def _grow(self, need: int) -> None:
@@ -148,17 +149,22 @@ class FastCycleSwitch:
             self._defl[ids[eligible & blocked]] += 1
 
         # injection (cylinder 0, blocked by same-cylinder claims)
+        obs = self._obs
         for port, queue in enumerate(self.input_queues):
             if not queue:
                 continue
             h, a = divmod(port, t.angles)
             if claimed[0][h, a] or new_occ[0][h, a] != _EMPTY:
                 self.stats.injection_blocked_cycles += 1
+                if obs is not None:
+                    obs.blocked_cycles.inc()
                 continue
             pid = queue.popleft()
             self._born[pid] = self.cycle
             new_occ[0][h, a] = pid
             self.stats.injected += 1
+            if obs is not None:
+                obs.injected.inc()
 
         # commit + ejection on arrival at the destination node
         self.cycle += 1
@@ -186,6 +192,9 @@ class FastCycleSwitch:
                 self.stats.total_latency_cycles += lat
                 self.stats.max_latency_cycles = max(
                     self.stats.max_latency_cycles, lat)
+                if obs is not None:
+                    obs.record_ejection(lat, int(self._hops[pid]),
+                                        int(self._defl[pid]))
             inner_new[h_idx[at_dest], a_idx[at_dest]] = _EMPTY
         self._occ = new_occ
         return ejections

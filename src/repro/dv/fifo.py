@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.obs import registry as obsreg
 from repro.sim.engine import Engine
 from repro.sim.events import Event
 
@@ -53,6 +54,11 @@ class SurpriseFIFO:
         #: use it to decide when everything addressed to them has landed
         self.total_pushed = 0
         self._waiters: List[Event] = []
+        self._obs_on = obsreg.enabled()
+        if self._obs_on:
+            self._m_pushed = obsreg.counter("dv.fifo.words_pushed")
+            self._m_dropped = obsreg.counter("dv.fifo.words_dropped")
+            self._m_occ = obsreg.gauge("dv.fifo.occupancy")
 
     def __len__(self) -> int:
         return self._n_words
@@ -70,6 +76,8 @@ class SurpriseFIFO:
                 raise FifoOverflow(
                     f"surprise FIFO overflow: {values.size} words arriving "
                     f"with only {room} free (capacity {self.capacity})")
+            if self._obs_on:
+                self._m_dropped.inc(values.size - room)
             self.dropped += values.size - room
             values = values[:room]
         if values.size:
@@ -77,6 +85,9 @@ class SurpriseFIFO:
             self._src_tags.append(src)
             self._n_words += values.size
             self.total_pushed += values.size
+            if self._obs_on:
+                self._m_pushed.inc(int(values.size))
+                self._m_occ.set_max(self._n_words)
             self._wake()
         return values.size
 

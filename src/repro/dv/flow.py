@@ -26,6 +26,7 @@ from typing import Any, Callable, List, Optional, Sequence
 
 from repro.dv.config import DVConfig
 from repro.dv.topology import DataVortexTopology
+from repro.obs import registry as obsreg
 from repro.sim.engine import Engine
 from repro.sim.events import Event
 
@@ -71,6 +72,12 @@ class FlowNetwork:
         self._inject_free = [0.0] * n_ports
         self._eject_free = [0.0] * n_ports
         self.stats = FlowStats()
+        self._obs_on = obsreg.enabled()
+        if self._obs_on:
+            self._m_packets = obsreg.counter("dv.flow.packets")
+            self._m_transfers = obsreg.counter("dv.flow.transfers")
+            self._m_inj_wait = obsreg.histogram("dv.flow.injection_wait_s")
+            self._m_ej_wait = obsreg.histogram("dv.flow.ejection_wait_s")
 
     # -- wiring ---------------------------------------------------------------
     def attach(self, port: int, receiver: Receiver) -> None:
@@ -129,6 +136,10 @@ class FlowNetwork:
 
         self.stats.packets_sent += n_packets
         self.stats.transfers += 1
+        if self._obs_on:
+            self._m_packets.inc(n_packets)
+            self._m_transfers.inc()
+            self._m_inj_wait.observe(inj_start - now)
 
         done = self.engine.event(name=f"dv:tx {src}->{dest} x{n_packets}")
         receiver = self._receivers[dest]
@@ -141,6 +152,8 @@ class FlowNetwork:
             t = self.engine.now
             ej_start = max(t, self._eject_free[dest])
             self.stats.total_ejection_wait_s += ej_start - t
+            if self._obs_on:
+                self._m_ej_wait.observe(ej_start - t)
             # the stream cannot eject faster than it was injected
             ej_end = max(ej_start + (n_packets - 1) * hop,
                          inj_end + tof)

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Generator
 
 from repro.dv.config import DVConfig
+from repro.obs import registry as obsreg
 from repro.sim.engine import Engine
 from repro.sim.resources import Resource
 
@@ -43,6 +44,15 @@ class PCIeBus:
         self.bytes_pio_read = 0
         self.bytes_dma_written = 0
         self.bytes_dma_read = 0
+        # one shared series per (path, direction) across all nodes
+        self._obs_on = obsreg.enabled()
+        if self._obs_on:
+            self._m = {
+                (p, d): (obsreg.counter("dv.pcie.bytes",
+                                        path=p, direction=d),
+                         obsreg.counter("dv.pcie.transfers",
+                                        path=p, direction=d))
+                for p in ("pio", "dma") for d in ("write", "read")}
 
     # -- programmed I/O ---------------------------------------------------
     def direct_write(self, nbytes: int) -> Generator:
@@ -54,6 +64,8 @@ class PCIeBus:
                 self.config.pio_setup_s
                 + nbytes / self.config.pcie_direct_write_bw)
             self.bytes_pio_written += nbytes
+            if self._obs_on:
+                self._record("pio", "write", nbytes)
         finally:
             self._pio.release()
 
@@ -66,6 +78,8 @@ class PCIeBus:
                 self.config.pio_setup_s
                 + nbytes / self.config.pcie_direct_read_bw)
             self.bytes_pio_read += nbytes
+            if self._obs_on:
+                self._record("pio", "read", nbytes)
         finally:
             self._pio.release()
 
@@ -91,6 +105,8 @@ class PCIeBus:
                     self.config.dma_setup_s
                     + chunk / self.config.pcie_dma_write_bw)
                 self.bytes_dma_written += chunk
+                if self._obs_on:
+                    self._record("dma", "write", chunk)
             finally:
                 self._dma.release()
 
@@ -104,8 +120,15 @@ class PCIeBus:
                     self.config.dma_setup_s
                     + chunk / self.config.pcie_dma_read_bw)
                 self.bytes_dma_read += chunk
+                if self._obs_on:
+                    self._record("dma", "read", chunk)
             finally:
                 self._dma.release()
+
+    def _record(self, path: str, direction: str, nbytes: int) -> None:
+        m_bytes, m_transfers = self._m[(path, direction)]
+        m_bytes.inc(nbytes)
+        m_transfers.inc()
 
     @staticmethod
     def _validate(nbytes: int) -> None:

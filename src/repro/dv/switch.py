@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from repro.dv.topology import Coord, DataVortexTopology
+from repro.obs import registry as obsreg
 
 
 @dataclass
@@ -76,6 +77,41 @@ class SwitchStats:
         return self.total_deflections / self.ejected if self.ejected else 0.0
 
 
+class SwitchObs:
+    """Registry handles for one switch instance.
+
+    ``SwitchObs.create(model)`` returns None while observability is
+    disabled, so the switches' hot loops pay a single ``is not None``
+    test per recording site (the overhead-guard test bounds this).
+    """
+
+    __slots__ = ("injected", "ejected", "deflections", "dropped",
+                 "blocked_cycles", "latency", "hops")
+
+    def __init__(self, model: str) -> None:
+        self.injected = obsreg.counter("dv.switch.injected", model=model)
+        self.ejected = obsreg.counter("dv.switch.ejected", model=model)
+        self.deflections = obsreg.counter("dv.switch.deflections",
+                                          model=model)
+        self.dropped = obsreg.counter("dv.switch.dropped", model=model)
+        self.blocked_cycles = obsreg.counter(
+            "dv.switch.injection_blocked_cycles", model=model)
+        self.latency = obsreg.histogram(
+            "dv.switch.ejection_latency_cycles", model=model)
+        self.hops = obsreg.histogram("dv.switch.hops", model=model)
+
+    @staticmethod
+    def create(model: str) -> Optional["SwitchObs"]:
+        return SwitchObs(model) if obsreg.enabled() else None
+
+    def record_ejection(self, latency_cycles: int, hops: int,
+                        deflections: int) -> None:
+        self.ejected.inc()
+        self.deflections.inc(deflections)
+        self.latency.observe(latency_cycles)
+        self.hops.observe(hops)
+
+
 class CycleSwitch:
     """Cycle-level Data Vortex switch.
 
@@ -112,6 +148,7 @@ class CycleSwitch:
         #: experiments set it so unreachable destinations cannot livelock)
         self.ttl_hops = ttl_hops
         self.stats = SwitchStats()
+        self._obs = SwitchObs.create("cycle")
 
     # -- injection ------------------------------------------------------------
     def inject(self, src_port: int, dest_port: int,
@@ -146,6 +183,11 @@ class CycleSwitch:
     # -- the cycle ----------------------------------------------------------
     def step(self) -> List[Ejection]:
         """Advance one cycle; returns the packets ejected this cycle."""
+        obs = self._obs
+        if obs is not None:
+            _drop0 = self.stats.dropped
+            _blk0 = self.stats.injection_blocked_cycles
+            _inj0 = self.stats.injected
         topo = self.topo
         innermost = topo.cylinders - 1
         moves: Dict[Coord, FlightRecord] = {}
@@ -247,9 +289,16 @@ class CycleSwitch:
                 self.stats.total_latency_cycles += lat
                 self.stats.max_latency_cycles = max(
                     self.stats.max_latency_cycles, lat)
+                if obs is not None:
+                    obs.record_ejection(lat, rec.hops, rec.deflections)
             else:
                 rec.coord = coord
                 self.occupancy[coord] = rec
+        if obs is not None:
+            obs.dropped.inc(self.stats.dropped - _drop0)
+            obs.blocked_cycles.inc(
+                self.stats.injection_blocked_cycles - _blk0)
+            obs.injected.inc(self.stats.injected - _inj0)
         return ejections
 
     def run_until_drained(self, max_cycles: int = 1_000_000

@@ -24,6 +24,7 @@ from repro.dv.counters import GroupCounters
 from repro.dv.dvmemory import DVMemory
 from repro.dv.fifo import SurpriseFIFO
 from repro.dv.pcie import PCIeBus
+from repro.obs import registry as obsreg
 from repro.sim.engine import Engine
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -120,6 +121,13 @@ class VIC:
         self.pcie = PCIeBus(engine, config, name=f"vic{vic_id}:pcie")
         self.packets_received = 0
         self.queries_served = 0
+        # shared (unlabelled) handles: all VICs aggregate into one series
+        self._obs_on = obsreg.enabled()
+        if self._obs_on:
+            self._m_packets = obsreg.counter("dv.vic.packets_received")
+            self._m_mem_words = obsreg.counter("dv.vic.memwrite_words")
+            self._m_fifo_words = obsreg.counter("dv.vic.fifo_words")
+            self._m_queries = obsreg.counter("dv.vic.queries_served")
         network.attach(vic_id, self._on_delivery)
 
     # -- network receive path ---------------------------------------------
@@ -127,13 +135,19 @@ class VIC:
         """Dispatch an arriving batch (called by the flow network at the
         simulated time the last word of the batch is ejected)."""
         self.packets_received += n_packets
+        if self._obs_on:
+            self._m_packets.inc(n_packets)
         if isinstance(effect, MemWrite):
             self.memory.scatter(np.atleast_1d(effect.addrs),
                                 np.atleast_1d(effect.values))
+            if self._obs_on:
+                self._m_mem_words.inc(effect.n_packets)
             if effect.counter is not None:
                 self.counters.decrement(effect.counter, effect.n_packets)
         elif isinstance(effect, FifoPush):
             self.fifo.push(effect.values, src=src)
+            if self._obs_on:
+                self._m_fifo_words.inc(effect.n_packets)
             if effect.counter is not None:
                 self.counters.decrement(effect.counter, effect.n_packets)
         elif isinstance(effect, CounterSet):
@@ -155,6 +169,8 @@ class VIC:
         """
         value = self.memory.read_word(q.addr)
         self.queries_served += 1
+        if self._obs_on:
+            self._m_queries.inc()
         self.network.transmit(
             self.vic_id, q.reply_vic, 1,
             payload=MemWrite(addrs=np.array([q.reply_addr]),

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.ib.config import IBConfig
+from repro.obs import registry as obsreg
 from repro.sim.engine import Engine
 from repro.sim.events import Event
 
@@ -58,6 +59,12 @@ class IBFabric:
         self._free: Dict[Tuple, float] = {}
         self._receivers: List[Optional[Receiver]] = [None] * n_nodes
         self.stats = FabricStats()
+        self._obs_on = obsreg.enabled()
+        if self._obs_on:
+            self._m_messages = obsreg.counter("ib.fabric.messages")
+            self._m_bytes = obsreg.counter("ib.fabric.bytes")
+            self._m_cross = obsreg.counter("ib.fabric.cross_leaf_messages")
+            self._m_wait = obsreg.histogram("ib.fabric.queue_wait_s")
 
     # -- wiring ---------------------------------------------------------------
     def attach(self, node: int, receiver: Receiver) -> None:
@@ -120,8 +127,15 @@ class IBFabric:
 
         self.stats.messages += 1
         self.stats.bytes += nbytes
-        if self.leaf_of(src) != self.leaf_of(dst):
+        cross = self.leaf_of(src) != self.leaf_of(dst)
+        if cross:
             self.stats.cross_leaf_messages += 1
+        if self._obs_on:
+            self._m_messages.inc()
+            self._m_bytes.inc(nbytes)
+            self._m_wait.observe(start - now)
+            if cross:
+                self._m_cross.inc()
 
         done = self.engine.event(name=f"ib:{kind} {src}->{dst}")
         receiver = self._receivers[dst] if dst < len(self._receivers) else None

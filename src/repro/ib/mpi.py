@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.ib.config import IBConfig
 from repro.ib.fabric import IBFabric
+from repro.obs import registry as obsreg
 from repro.sim.engine import Engine
 from repro.sim.events import Event
 from repro.sim.resources import Resource
@@ -78,6 +79,14 @@ class MPIEndpoint:
         self._data_waiters: Dict[int, Event] = {}
         self._collective_seq = itertools.count()
         self._verbs = None
+        # shared series across endpoints; label picks apart the protocol
+        self._obs_on = obsreg.enabled()
+        if self._obs_on:
+            self._m_sends = {p: obsreg.counter("ib.mpi.sends", protocol=p)
+                             for p in ("self", "eager", "rendezvous")}
+            self._m_recvs = obsreg.counter("ib.mpi.recvs")
+            self._m_collectives = obsreg.counter("ib.mpi.collectives")
+            self._coll_hists: Dict[str, object] = {}
         self.fabric.attach(rank, self._on_fabric)
 
     @property
@@ -136,6 +145,8 @@ class MPIEndpoint:
         returns once the data transfer completes)."""
         if dest == self.rank:
             # self-sends short-circuit through the unexpected queue
+            if self._obs_on:
+                self._m_sends["self"].inc()
             yield from self._overhead()
             self._on_fabric(self.rank, "eager", (tag, -1, data),
                             nbytes if nbytes is not None
@@ -144,10 +155,14 @@ class MPIEndpoint:
         n = payload_nbytes(data) if nbytes is None else int(nbytes)
         yield from self._overhead()
         if n <= self.config.eager_threshold_bytes:
+            if self._obs_on:
+                self._m_sends["eager"].inc()
             self.fabric.transfer(self.rank, dest, n + _CONTROL_BYTES,
                                  kind="eager", payload=(tag, -1, data))
             return
         # rendezvous
+        if self._obs_on:
+            self._m_sends["rendezvous"].inc()
         rts_id = self.runtime.next_rts_id()
         cts = self.engine.event(name=f"cts:{rts_id}")
         self._cts_waiters[rts_id] = cts
@@ -162,6 +177,8 @@ class MPIEndpoint:
     def recv(self, src: int = ANY_SOURCE, *, tag: int = ANY_TAG
              ) -> Generator:
         """Blocking receive; generator value is ``(data, src, tag)``."""
+        if self._obs_on:
+            self._m_recvs.inc()
         yield from self._overhead()
         arrival = self._match_or_wait(src, tag)
         if isinstance(arrival, Event):
@@ -220,42 +237,65 @@ class MPIEndpoint:
         same order, so sequence numbers agree)."""
         return _COLLECTIVE_TAG_BASE + next(self._collective_seq)
 
+    def _timed_collective(self, op: str, gen: Generator) -> Generator:
+        """Drive a collective, recording its sim-time latency per op."""
+        if not self._obs_on:
+            return (yield from gen)
+        t0 = self.engine.now
+        result = yield from gen
+        self._m_collectives.inc()
+        h = self._coll_hists.get(op)
+        if h is None:
+            h = obsreg.histogram("ib.mpi.collective_seconds", op=op)
+            self._coll_hists[op] = h
+        h.observe(self.engine.now - t0)
+        return result
+
     def barrier(self) -> Generator:
         from repro.ib import collectives
-        yield from collectives.barrier(self)
+        yield from self._timed_collective(
+            "barrier", collectives.barrier(self))
 
     def bcast(self, data: Any, root: int = 0) -> Generator:
         from repro.ib import collectives
-        return (yield from collectives.bcast(self, data, root))
+        return (yield from self._timed_collective(
+            "bcast", collectives.bcast(self, data, root)))
 
     def reduce(self, data: Any, op: Callable, root: int = 0) -> Generator:
         from repro.ib import collectives
-        return (yield from collectives.reduce(self, data, op, root))
+        return (yield from self._timed_collective(
+            "reduce", collectives.reduce(self, data, op, root)))
 
     def allreduce(self, data: Any, op: Callable) -> Generator:
         from repro.ib import collectives
-        return (yield from collectives.allreduce(self, data, op))
+        return (yield from self._timed_collective(
+            "allreduce", collectives.allreduce(self, data, op)))
 
     def gather(self, data: Any, root: int = 0) -> Generator:
         from repro.ib import collectives
-        return (yield from collectives.gather(self, data, root))
+        return (yield from self._timed_collective(
+            "gather", collectives.gather(self, data, root)))
 
     def allgather(self, data: Any) -> Generator:
         from repro.ib import collectives
-        return (yield from collectives.allgather(self, data))
+        return (yield from self._timed_collective(
+            "allgather", collectives.allgather(self, data)))
 
     def scatter(self, chunks: Optional[List[Any]], root: int = 0
                 ) -> Generator:
         from repro.ib import collectives
-        return (yield from collectives.scatter(self, chunks, root))
+        return (yield from self._timed_collective(
+            "scatter", collectives.scatter(self, chunks, root)))
 
     def alltoall(self, chunks: List[Any]) -> Generator:
         from repro.ib import collectives
-        return (yield from collectives.alltoall(self, chunks))
+        return (yield from self._timed_collective(
+            "alltoall", collectives.alltoall(self, chunks)))
 
     def alltoallv(self, chunks: List[Any]) -> Generator:
         from repro.ib import collectives
-        return (yield from collectives.alltoall(self, chunks))
+        return (yield from self._timed_collective(
+            "alltoallv", collectives.alltoall(self, chunks)))
 
 
 class MPIRuntime:

@@ -32,6 +32,7 @@ import numpy as np
 from repro.core.cluster import ClusterSpec, run_spmd
 from repro.core.context import RankContext
 from repro.core.metrics import mups
+from repro.obs import registry as obsreg
 from repro.sim.rng import rng_for
 
 _CTR_COUNTS = 20    #: counter for the per-epoch count exchange
@@ -79,6 +80,12 @@ def _dv_gups(ctx: RankContext, table_words: int, n_updates: int,
     owner = idx // table_words
     local = idx % table_words
     n_epochs = (n_updates + window - 1) // window
+    _obs = obsreg.enabled()
+    if _obs:
+        m_epochs = obsreg.counter("kernels.gups.epochs", fabric="dv")
+        m_local = obsreg.counter("kernels.gups.updates_local", fabric="dv")
+        m_remote = obsreg.counter("kernels.gups.updates_remote",
+                                  fabric="dv")
 
     yield from ctx.barrier()
     ctx.mark("t0")
@@ -86,6 +93,10 @@ def _dv_gups(ctx: RankContext, table_words: int, n_updates: int,
         lo, hi = e * window, min((e + 1) * window, n_updates)
         o, li, v = owner[lo:hi], local[lo:hi], val[lo:hi]
         mine = o == ctx.rank
+        if _obs:
+            m_epochs.inc()
+            m_local.inc(int(mine.sum()))
+            m_remote.inc(int((~mine).sum()))
         # local updates: random-access XORs into the host table
         _apply(table, _pack(li[mine], v[mine]))
         yield from ctx.compute(random_updates=int(mine.sum()),
@@ -250,6 +261,11 @@ def _mpi_gups(ctx: RankContext, table_words: int, n_updates: int,
     owner = idx // table_words
     local = idx % table_words
     n_epochs = (n_updates + window - 1) // window
+    _obs = obsreg.enabled()
+    if _obs:
+        m_epochs = obsreg.counter("kernels.gups.epochs", fabric="mpi")
+        m_applied = obsreg.counter("kernels.gups.updates_applied",
+                                   fabric="mpi")
 
     yield from ctx.barrier()
     ctx.mark("t0")
@@ -267,6 +283,9 @@ def _mpi_gups(ctx: RankContext, table_words: int, n_updates: int,
                 _apply(table, arr)
                 ctx.tracer.message(src, ctx.rank, ctx.now, arr.nbytes)
         n_applied = sum(len(a) for a in got if a is not None)
+        if _obs:
+            m_epochs.inc()
+            m_applied.inc(n_applied)
         yield from ctx.compute(random_updates=n_applied, dispatches=1)
     yield from ctx.timed("mpi", mpi.barrier(), "final")
     elapsed = ctx.since("t0")

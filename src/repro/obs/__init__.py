@@ -1,0 +1,47 @@
+"""repro.obs — the unified observability layer.
+
+One substrate for everything the evaluation measures:
+
+* :mod:`repro.obs.registry` — counters, gauges, label-aware histograms
+  behind a process-wide enable switch (no-op singletons when disabled);
+* :mod:`repro.obs.tracing` — :class:`SpanTracer`, the storage/recording
+  engine behind :class:`repro.core.trace.Tracer` (Fig. 5);
+* :mod:`repro.obs.profiling` — ``@timed`` and wall/sim-time block
+  timers;
+* :mod:`repro.obs.export` — JSON/CSV snapshot exporters;
+* :mod:`repro.obs.report` — the ``repro obs`` CLI report builder.
+
+Instrumented layers: the event engine (events, queue depth), both
+cycle-accurate switches (injections, deflections, ejection-latency
+histograms), the flow network, VIC/PCIe/FIFO (DMA bytes, occupancy),
+the IB fabric and MPI stack (messages, collective latencies), and the
+kernels' run loops.  The differential tests in
+``tests/test_obs_differential.py`` prove that none of it perturbs
+simulation results.
+
+Quick use::
+
+    from repro import obs
+
+    with obs.session() as reg:
+        run_gups(ClusterSpec(n_nodes=4), "dv")
+        print(obs.to_json(reg))
+"""
+
+from repro.obs.export import to_csv, to_json, write_csv, write_json
+from repro.obs.profiling import sim_block, timed, timed_block
+from repro.obs.registry import (NULL_COUNTER, NULL_GAUGE, NULL_HISTOGRAM,
+                                Counter, Gauge, Histogram, MetricsRegistry,
+                                active, counter, disable, enable, enabled,
+                                gauge, histogram, session)
+from repro.obs.tracing import MessageArrow, Span, SpanTracer
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "SpanTracer",
+    "Span", "MessageArrow",
+    "NULL_COUNTER", "NULL_GAUGE", "NULL_HISTOGRAM",
+    "active", "counter", "disable", "enable", "enabled", "gauge",
+    "histogram", "session",
+    "timed", "timed_block", "sim_block",
+    "to_csv", "to_json", "write_csv", "write_json",
+]

@@ -1,0 +1,58 @@
+"""Exporters: registry snapshots as JSON or flat CSV.
+
+The JSON form is the machine-readable report the ``repro obs`` CLI
+emits; the CSV form is one row per (series, field) for spreadsheet-style
+post-processing, mirroring the flat exports in :mod:`repro.core.report`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["to_json", "to_csv", "write_json", "write_csv"]
+
+
+def _labels_text(labels: dict) -> str:
+    if not labels:
+        return ""
+    return ";".join(f"{k}={v}" for k, v in sorted(labels.items()))
+
+
+def to_json(registry: MetricsRegistry, meta: Optional[dict] = None,
+            indent: int = 2) -> str:
+    """Full snapshot as a JSON document (optionally with a ``meta``
+    header describing the run that produced it)."""
+    doc = {"schema": "repro.obs/v1"}
+    if meta:
+        doc["meta"] = meta
+    doc.update(registry.snapshot())
+    return json.dumps(doc, indent=indent, sort_keys=False)
+
+
+def to_csv(registry: MetricsRegistry) -> str:
+    """Flat CSV: ``kind,name,labels,field,value`` per scalar field."""
+    lines = ["kind,name,labels,field,value"]
+    full = registry.snapshot()
+    for snap, kind in ([(s, "counter") for s in full["counters"]]
+                       + [(s, "gauge") for s in full["gauges"]]
+                       + [(s, "histogram") for s in full["histograms"]]):
+        labels = _labels_text(snap["labels"])
+        for field, value in snap.items():
+            if field in ("name", "labels"):
+                continue
+            lines.append(f"{kind},{snap['name']},{labels},{field},{value!r}")
+    return "\n".join(lines)
+
+
+def write_json(registry: MetricsRegistry, path: str,
+               meta: Optional[dict] = None) -> None:
+    with open(path, "w") as fh:
+        fh.write(to_json(registry, meta=meta) + "\n")
+
+
+def write_csv(registry: MetricsRegistry, path: str) -> None:
+    with open(path, "w") as fh:
+        fh.write(to_csv(registry) + "\n")

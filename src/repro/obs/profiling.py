@@ -1,0 +1,74 @@
+"""Lightweight profiling hooks: ``@timed`` and block timers.
+
+Two clocks are supported:
+
+* **wall time** (``timed`` / ``timed_block``) — what the host actually
+  spent, for profiling the simulator itself;
+* **sim time** (``sim_block``) — what the simulated system spent, keyed
+  to an :class:`~repro.sim.engine.Engine`'s ``now``.
+
+All hooks check :func:`repro.obs.registry.enabled` first and degrade to
+a plain call / empty context when observability is off, so decorating a
+hot function costs one boolean test per call when disabled.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from contextlib import contextmanager
+from typing import Callable, Optional
+
+from repro.obs import registry as obsreg
+
+__all__ = ["timed", "timed_block", "sim_block"]
+
+
+def timed(name: Optional[str] = None, **labels) -> Callable:
+    """Decorator recording each call's wall-clock duration into the
+    histogram ``<name>`` (default: ``func.<qualname>_seconds``)."""
+
+    def deco(fn: Callable) -> Callable:
+        metric_name = name or f"func.{fn.__qualname__}_seconds"
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not obsreg.enabled():
+                return fn(*args, **kwargs)
+            hist = obsreg.histogram(metric_name, **labels)
+            t0 = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                hist.observe(time.perf_counter() - t0)
+        return wrapper
+    return deco
+
+
+@contextmanager
+def timed_block(name: str, **labels):
+    """``with timed_block("phase.setup"):`` — wall-clock histogram."""
+    if not obsreg.enabled():
+        yield
+        return
+    hist = obsreg.histogram(name, **labels)
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        hist.observe(time.perf_counter() - t0)
+
+
+@contextmanager
+def sim_block(engine, name: str, **labels):
+    """``with sim_block(engine, "gups.epoch"):`` — simulated-time
+    histogram (``engine`` is anything exposing ``now``)."""
+    if not obsreg.enabled():
+        yield
+        return
+    hist = obsreg.histogram(name, **labels)
+    t0 = engine.now
+    try:
+        yield
+    finally:
+        hist.observe(engine.now - t0)

@@ -1,0 +1,124 @@
+"""Span tracing — the storage and recording half of the Fig. 5 apparatus.
+
+:class:`SpanTracer` owns span/message recording, CSV export, and the
+sim-time context manager; :class:`repro.core.trace.Tracer` extends it
+with the paper-specific analysis (destination-run statistics, the ASCII
+timeline renderer).  When a metrics registry is active, every recorded
+span also feeds a per-kind duration histogram
+(``trace.span_seconds{kind=...}``), so the unified ``repro obs`` report
+sees trace time alongside device counters.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs import registry as obsreg
+
+
+@dataclass(frozen=True)
+class Span:
+    """A traced activity region on one rank's timeline."""
+
+    rank: int
+    t0: float
+    t1: float
+    kind: str           # e.g. "compute", "mpi", "dv", "barrier"
+    label: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+
+@dataclass(frozen=True)
+class MessageArrow:
+    """A point-to-point message for the timeline's arrow overlay."""
+
+    src: int
+    dst: int
+    t: float
+    nbytes: int = 0
+
+
+class SpanTracer:
+    """Accumulates spans and message arrows during a run."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.spans: List[Span] = []
+        self.messages: List[MessageArrow] = []
+        self._obs_on = enabled and obsreg.enabled()
+        self._span_hists: Dict[str, object] = {}
+        self._m_messages = (obsreg.counter("trace.messages")
+                            if self._obs_on else obsreg.NULL_COUNTER)
+        self._m_msg_bytes = (obsreg.counter("trace.message_bytes")
+                             if self._obs_on else obsreg.NULL_COUNTER)
+
+    # -- recording ---------------------------------------------------------
+    def span(self, rank: int, t0: float, t1: float, kind: str,
+             label: str = "") -> None:
+        if not self.enabled:
+            return
+        if t1 < t0:
+            raise ValueError("span ends before it starts")
+        self.spans.append(Span(rank, t0, t1, kind, label))
+        if self._obs_on:
+            h = self._span_hists.get(kind)
+            if h is None:
+                h = obsreg.histogram("trace.span_seconds", kind=kind)
+                self._span_hists[kind] = h
+            h.observe(t1 - t0)
+
+    def message(self, src: int, dst: int, t: float, nbytes: int = 0) -> None:
+        if not self.enabled:
+            return
+        self.messages.append(MessageArrow(src, dst, t, nbytes))
+        if self._obs_on:
+            self._m_messages.inc()
+            self._m_msg_bytes.inc(nbytes)
+
+    @contextmanager
+    def region(self, engine, rank: int, kind: str, label: str = ""):
+        """Span a ``with`` block in *simulated* time.
+
+        ``engine`` is anything with a ``now`` attribute (normally
+        :class:`repro.sim.engine.Engine`); the span covers the sim-time
+        consumed by whatever the block drove.
+        """
+        t0 = engine.now
+        try:
+            yield self
+        finally:
+            self.span(rank, t0, engine.now, kind, label)
+
+    # -- analysis ----------------------------------------------------------
+    def time_by_kind(self, rank: Optional[int] = None) -> Dict[str, float]:
+        """Total traced seconds per activity kind (optionally one rank)."""
+        out: Dict[str, float] = {}
+        for s in self.spans:
+            if rank is not None and s.rank != rank:
+                continue
+            out[s.kind] = out.get(s.kind, 0.0) + s.duration
+        return out
+
+    # -- export ------------------------------------------------------------
+    def to_rows(self) -> List[Tuple]:
+        """Spans as plain tuples (for CSV export in the harness)."""
+        return [(s.rank, s.t0, s.t1, s.kind, s.label) for s in self.spans]
+
+    def spans_csv(self) -> str:
+        """Spans as CSV text (Paraver-style flat export)."""
+        lines = ["rank,t0,t1,kind,label"]
+        for s in sorted(self.spans, key=lambda s: (s.rank, s.t0)):
+            lines.append(f"{s.rank},{s.t0!r},{s.t1!r},{s.kind},{s.label}")
+        return "\n".join(lines)
+
+    def messages_csv(self) -> str:
+        """Message arrows as CSV text."""
+        lines = ["src,dst,t,nbytes"]
+        for m in sorted(self.messages, key=lambda m: m.t):
+            lines.append(f"{m.src},{m.dst},{m.t!r},{m.nbytes}")
+        return "\n".join(lines)

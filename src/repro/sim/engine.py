@@ -11,6 +11,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Generator, List, Optional, Tuple
 
+from repro.obs import registry as obsreg
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
 
@@ -39,6 +40,11 @@ class Engine:
         self._queue: List[Tuple[float, int, Event]] = []
         self._seq = 0
         self._processed_count = 0
+        # observability handles, resolved once; hot paths guard on the bool
+        self._obs_on = obsreg.enabled()
+        if self._obs_on:
+            self._m_events = obsreg.counter("sim.engine.events")
+            self._m_qdepth = obsreg.gauge("sim.engine.queue_depth")
 
     # -- time --------------------------------------------------------------
     @property
@@ -93,6 +99,9 @@ class Engine:
             raise SimulationError("event scheduled in the past")
         self._now = t
         self._processed_count += 1
+        if self._obs_on:
+            self._m_events.inc()
+            self._m_qdepth.set_max(len(self._queue) + 1)
         event._process()
 
     def run(self, until: Optional[float] = None,

@@ -138,3 +138,21 @@ def test_property_models_equivalent_wide_rings(plan):
     topo = DataVortexTopology(height=8, angles=4)
     a, b = drive_both(topo, plan)
     assert a == b
+
+
+@pytest.mark.parametrize("load", [0.25, 1.0, 4.0],
+                         ids=["light", "full", "oversubscribed"])
+@pytest.mark.parametrize("height,angles", [(4, 2), (8, 2), (16, 4)],
+                         ids=["8-port", "16-port", "64-port"])
+def test_equivalence_sweep(height, angles, load):
+    """Packet-for-packet equivalence across switch sizes and injection
+    loads (load = queued packets per port, in units of 8)."""
+    from repro.sim.rng import rng_for
+    topo = DataVortexTopology(height=height, angles=angles)
+    rng = rng_for(2017, "fastswitch-sweep", height, angles, str(load))
+    n = max(1, int(load * topo.ports * 8))
+    plan = list(zip((int(s) for s in rng.integers(0, topo.ports, n)),
+                    (int(d) for d in rng.integers(0, topo.ports, n))))
+    a, b = drive_both(topo, plan)
+    assert a == b
+    assert len(a) == n                  # nothing lost at any load

@@ -1,0 +1,262 @@
+"""Unit tests for the observability core: registry switchboard, metric
+primitives, exporters, profiling hooks, and the SpanTracer base."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    SpanTracer,
+    sim_block,
+    timed,
+    timed_block,
+    to_csv,
+    to_json,
+)
+from repro.obs import registry as obsreg
+
+
+# ------------------------------------------------------------- registry ---
+
+def test_get_or_create_returns_same_handle():
+    reg = MetricsRegistry()
+    a = reg.counter("x.events")
+    b = reg.counter("x.events")
+    assert a is b
+    assert len(reg) == 1
+
+
+def test_labels_create_distinct_series():
+    reg = MetricsRegistry()
+    a = reg.counter("x.bytes", path="dma")
+    b = reg.counter("x.bytes", path="pio")
+    assert a is not b
+    a.inc(10)
+    b.inc(1)
+    assert reg.value("x.bytes", path="dma") == 10
+    assert reg.total("x.bytes") == 11
+
+
+def test_label_order_is_irrelevant():
+    reg = MetricsRegistry()
+    a = reg.counter("x", p="dma", d="write")
+    b = reg.counter("x", d="write", p="dma")
+    assert a is b
+
+
+def test_kind_conflict_raises():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(TypeError):
+        reg.gauge("x")
+
+
+def test_iteration_is_sorted_and_snapshot_groups_by_kind():
+    reg = MetricsRegistry()
+    reg.gauge("b").set(2)
+    reg.counter("a").inc()
+    reg.histogram("c").observe(1.0)
+    assert [m.name for m in reg] == ["a", "b", "c"]
+    snap = reg.snapshot()
+    assert [s["name"] for s in snap["counters"]] == ["a"]
+    assert [s["name"] for s in snap["gauges"]] == ["b"]
+    assert [s["name"] for s in snap["histograms"]] == ["c"]
+
+
+def test_value_of_untouched_series_is_zero():
+    reg = MetricsRegistry()
+    assert reg.value("never.seen") == 0
+    assert reg.get("never.seen") is None
+    assert len(reg) == 0
+
+
+# -------------------------------------------------------- global switch ---
+
+def test_disabled_resolvers_hand_out_null_singletons():
+    obsreg.disable()
+    assert obsreg.counter("x") is NULL_COUNTER
+    assert obsreg.gauge("x") is NULL_GAUGE
+    assert obsreg.histogram("x") is NULL_HISTOGRAM
+    # null metrics swallow everything silently
+    NULL_COUNTER.inc()
+    NULL_GAUGE.set_max(3)
+    NULL_HISTOGRAM.observe(1.0)
+
+
+def test_enabled_resolver_registers_even_in_empty_registry():
+    # regression: MetricsRegistry defines __len__, so a *fresh* registry
+    # is falsy — the resolvers must test ``is None``, not truthiness
+    with obsreg.session() as reg:
+        assert len(reg) == 0
+        c = obsreg.counter("x")
+        assert c is not NULL_COUNTER
+        c.inc()
+        assert reg.value("x") == 1
+
+
+def test_session_restores_previous_state():
+    obsreg.disable()
+    with obsreg.session() as outer:
+        assert obsreg.active() is outer
+        with obsreg.session() as inner:
+            assert obsreg.active() is inner
+            assert inner is not outer
+        assert obsreg.active() is outer
+        with obsreg.session(enable_obs=False) as off:
+            assert off is None
+            assert not obsreg.enabled()
+        assert obsreg.active() is outer
+    assert not obsreg.enabled()
+
+
+def test_session_restores_on_exception():
+    obsreg.disable()
+    with pytest.raises(RuntimeError):
+        with obsreg.session():
+            raise RuntimeError("boom")
+    assert not obsreg.enabled()
+
+
+def test_enable_accepts_existing_registry():
+    reg = MetricsRegistry()
+    try:
+        assert obsreg.enable(reg) is reg
+        obsreg.counter("x").inc(5)
+        assert reg.value("x") == 5
+    finally:
+        obsreg.disable()
+
+
+# ---------------------------------------------------------------- gauge ---
+
+def test_gauge_tracks_value_and_peak():
+    reg = MetricsRegistry()
+    g = reg.gauge("depth")
+    g.set(3)
+    g.set(1)
+    assert g.value == 1 and g.max == 3
+    g.set_max(2)          # below the peak: no effect
+    assert g.max == 3
+    g.inc(5)
+    assert g.value == 6 and g.max == 6
+    g.dec(2)
+    assert g.value == 4
+
+
+# ------------------------------------------------------------ exporters ---
+
+def _sample_registry():
+    reg = MetricsRegistry()
+    reg.counter("n.events", kind="a").inc(7)
+    reg.gauge("n.depth").set(3)
+    h = reg.histogram("n.lat")
+    for v in (1.0, 2.0, 4.0):
+        h.observe(v)
+    return reg
+
+
+def test_to_json_round_trips():
+    doc = json.loads(to_json(_sample_registry(), meta={"run": "t"}))
+    assert doc["schema"] == "repro.obs/v1"
+    assert doc["meta"] == {"run": "t"}
+    assert doc["counters"][0] == {"name": "n.events",
+                                  "labels": {"kind": "a"}, "value": 7}
+    hist = doc["histograms"][0]
+    assert hist["count"] == 3 and hist["total"] == 7.0
+    assert hist["min"] == 1.0 and hist["max"] == 4.0
+
+
+def test_to_csv_one_row_per_field():
+    text = to_csv(_sample_registry())
+    lines = text.splitlines()
+    assert lines[0] == "kind,name,labels,field,value"
+    assert "counter,n.events,kind=a,value,7" in lines
+    assert any(line.startswith("histogram,n.lat,,p99,") for line in lines)
+
+
+# ------------------------------------------------------------ profiling ---
+
+def test_timed_decorator_records_when_enabled():
+    @timed("t.calls_seconds")
+    def f(x):
+        return x + 1
+
+    obsreg.disable()
+    assert f(1) == 2            # no registry: plain call
+    with obsreg.session() as reg:
+        assert f(2) == 3
+        assert reg.get("t.calls_seconds").count == 1
+
+
+def test_timed_block_and_sim_block():
+    class FakeEngine:
+        now = 0.0
+
+    eng = FakeEngine()
+    with obsreg.session() as reg:
+        with timed_block("t.block_seconds"):
+            pass
+        with sim_block(eng, "t.sim_seconds"):
+            eng.now = 1.5
+        assert reg.get("t.block_seconds").count == 1
+        h = reg.get("t.sim_seconds")
+        assert h.count == 1 and h.total == 1.5
+    # disabled: both degrade to empty contexts
+    with timed_block("x"):
+        pass
+    with sim_block(eng, "x"):
+        pass
+
+
+# --------------------------------------------------------------- tracer ---
+
+def test_span_tracer_records_and_feeds_histograms():
+    with obsreg.session() as reg:
+        tr = SpanTracer(enabled=True)
+        tr.span(0, 0.0, 1.0, "compute")
+        tr.span(0, 1.0, 1.5, "compute")
+        tr.message(0, 1, 0.5, nbytes=64)
+        assert tr.time_by_kind() == {"compute": 1.5}
+        assert reg.get("trace.span_seconds", kind="compute").count == 2
+        assert reg.value("trace.messages") == 1
+        assert reg.value("trace.message_bytes") == 64
+
+
+def test_span_tracer_region_uses_engine_time():
+    class FakeEngine:
+        now = 2.0
+
+    eng = FakeEngine()
+    tr = SpanTracer(enabled=True)
+    with tr.region(eng, rank=3, kind="io", label="x"):
+        eng.now = 5.0
+    (s,) = tr.spans
+    assert (s.rank, s.t0, s.t1, s.kind, s.label) == (3, 2.0, 5.0, "io", "x")
+
+
+def test_span_tracer_disabled_records_nothing():
+    tr = SpanTracer(enabled=False)
+    tr.span(0, 0.0, 1.0, "compute")
+    tr.message(0, 1, 0.5)
+    assert tr.spans == [] and tr.messages == []
+
+
+def test_span_rejects_negative_duration():
+    tr = SpanTracer(enabled=True)
+    with pytest.raises(ValueError):
+        tr.span(0, 2.0, 1.0, "compute")
+
+
+def test_core_tracer_is_a_span_tracer():
+    from repro.core.trace import Tracer
+    tr = Tracer(enabled=True)
+    assert isinstance(tr, SpanTracer)
+    tr.span(0, 0.0, 1.0, "mpi")
+    tr.message(0, 0, 0.1)
+    # paper-specific analysis still present on the subclass
+    assert tr.destination_runs() == [1]
+    assert tr.busy_fraction(0, "mpi", 0.0, 2.0) == 0.5
