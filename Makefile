@@ -5,11 +5,13 @@
 PYTHON  ?= python
 PYTEST   = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-all obs help
+.PHONY: test test-all test-exec bench obs help
 
 help:
 	@echo "make test      - fast test suite (excludes tests marked 'slow')"
 	@echo "make test-all  - full test suite, slow overhead guards included"
+	@echo "make test-exec - executor/cache test suite only"
+	@echo "make bench     - perf regression benchmarks; updates BENCH_exec.json"
 	@echo "make obs       - example unified observability report (JSON)"
 
 test:
@@ -17,6 +19,12 @@ test:
 
 test-all:
 	$(PYTEST) -x -q
+
+test-exec:
+	$(PYTEST) -x -q tests/test_exec_pool.py tests/test_exec_cache.py
+
+bench:
+	$(PYTEST) -q -m slow benchmarks/test_perf_regression.py
 
 obs:
 	PYTHONPATH=src $(PYTHON) -m repro.cli obs --nodes 4

@@ -1,0 +1,101 @@
+"""Perf trajectory guard (slow): times the hot paths this repo promises
+to keep fast and records them in ``BENCH_exec.json`` at the repo root,
+so later PRs can see whether they sped things up or regressed them.
+
+Measured:
+
+* 64-port ``FastCycleSwitch.run_until_drained`` under saturating
+  uniform-random load (the §IX scale-up inner loop);
+* a cold (all points simulated) vs warm (all points from the on-disk
+  cache) switch-scaling sweep through the executor.
+"""
+
+import json
+import pathlib
+import platform
+import statistics
+import time
+
+import pytest
+
+from repro.core.scaling import switch_scaling
+from repro.dv.fastswitch import FastCycleSwitch
+from repro.dv.topology import DataVortexTopology
+from repro.exec import Executor, ResultCache
+
+BENCH_FILE = pathlib.Path(__file__).resolve().parents[1] / "BENCH_exec.json"
+
+pytestmark = pytest.mark.slow
+
+
+def _record(section: str, payload: dict) -> None:
+    data = {}
+    if BENCH_FILE.exists():
+        try:
+            data = json.loads(BENCH_FILE.read_text())
+        except ValueError:
+            data = {}
+    data.setdefault("meta", {}).update({
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    })
+    data[section] = payload
+    BENCH_FILE.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def test_fastswitch_64port_drain_rate():
+    import random
+    topo = DataVortexTopology(height=32, angles=2)
+    assert topo.ports == 64
+    per_port = 256
+    reps = []
+    for rep in range(3):
+        sw = FastCycleSwitch(topo)
+        rng = random.Random(7)
+        for src in range(topo.ports):
+            for _ in range(per_port):
+                sw.inject(src, rng.randrange(topo.ports))
+        t0 = time.perf_counter()
+        ejected = sw.run_until_drained(max_cycles=10_000_000)
+        dt = time.perf_counter() - t0
+        assert len(ejected) == per_port * topo.ports
+        reps.append((dt, sw.cycle))
+    best_dt = min(dt for dt, _ in reps)
+    cycles = reps[0][1]
+    _record("fastswitch_64port_drain", {
+        "ports": topo.ports,
+        "packets": per_port * topo.ports,
+        "drain_cycles": cycles,
+        "seconds_best_of_3": round(best_dt, 4),
+        "cycles_per_second": round(cycles / best_dt),
+        "packets_per_second": round(per_port * topo.ports / best_dt),
+    })
+    # sanity floor, generous enough for slow CI machines
+    assert cycles / best_dt > 500
+
+
+def test_cached_sweep_vs_cold(tmp_path):
+    cache_dir = str(tmp_path / "bench-cache")
+    heights = (8, 16, 32)
+
+    t0 = time.perf_counter()
+    cold = switch_scaling(heights=heights, per_port=64,
+                          executor=Executor(cache_dir=cache_dir))
+    cold_s = time.perf_counter() - t0
+
+    cache = ResultCache(cache_dir)
+    t0 = time.perf_counter()
+    warm = switch_scaling(heights=heights, per_port=64,
+                          executor=Executor(cache=cache))
+    warm_s = time.perf_counter() - t0
+
+    assert warm == cold                      # bit-identical points
+    assert cache.hits == len(heights)        # all points from cache
+    assert cache.misses == 0                 # zero simulations re-run
+    assert warm_s < cold_s
+    _record("cached_sweep", {
+        "heights": list(heights),
+        "cold_seconds": round(cold_s, 4),
+        "warm_seconds": round(warm_s, 4),
+        "speedup": round(cold_s / max(warm_s, 1e-9), 1),
+    })

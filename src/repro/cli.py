@@ -7,10 +7,17 @@ Usage::
     python -m repro.cli fig9
     python -m repro.cli chase --nodes 8 --hops 256
     python -m repro.cli obs --nodes 4        # unified metrics report (JSON)
+    python -m repro.cli scaling --workers 4 --cache .repro-cache
+    python -m repro.cli figures --figs fig4,fig6 --workers 2
+    python -m repro.cli sweep --name gups --nodes 4,8,16
+    python -m repro.cli cache --cache .repro-cache   # stats / --clear
     python -m repro.cli list
 
 Each subcommand prints the figure's data as an aligned table (the same
-rendering the benchmark harness emits).
+rendering the benchmark harness emits).  ``--workers N`` fans
+independent points across a process pool and ``--cache DIR`` memoises
+finished points on disk; both leave the printed tables bit-identical
+to a serial, uncached run (see docs/execution.md).
 """
 
 from __future__ import annotations
@@ -25,6 +32,12 @@ from repro.core.report import Table
 
 def _nodes_list(text: str) -> List[int]:
     return [int(x) for x in text.split(",") if x]
+
+
+def _executor(args):
+    """The Executor the run's subcommand routes through."""
+    from repro.exec import Executor
+    return Executor(workers=args.workers, cache_dir=args.cache)
 
 
 def cmd_fig3(args) -> Table:
@@ -164,13 +177,50 @@ def cmd_obs(args) -> str:
 
 def cmd_scaling(args) -> Table:
     from repro.core.scaling import switch_scaling
-    points = switch_scaling()
+    points = switch_scaling(executor=_executor(args))
     t = Table("SS IX scale-up study (cycle-accurate switch)",
               ["ports", "cylinders", "mean hops", "pkts/cycle/port"])
     for p in points:
         t.add_row(p.ports, p.cylinders, p.mean_hops,
                   p.throughput_per_port)
     return t
+
+
+def cmd_sweep(args) -> Table:
+    from repro.core.sweep import NAMED_SWEEPS, named_sweep
+    if args.name not in NAMED_SWEEPS:
+        print(f"unknown sweep {args.name!r}; known: "
+              f"{', '.join(sorted(NAMED_SWEEPS))}", file=sys.stderr)
+        raise SystemExit(2)
+    spec = NAMED_SWEEPS[args.name]
+    sw = named_sweep(args.name,
+                     axes={"nodes": args.nodes} if args.nodes else None,
+                     fixed={"seed": args.seed})
+    return sw.run_table(spec["title"], spec["columns"],
+                        executor=_executor(args))
+
+
+def cmd_figures(args):
+    from repro.core.experiments import REGISTRY, run_experiments
+    figs = args.figs or sorted(
+        e for e, x in REGISTRY.items() if x.runner is not None)
+    tables = run_experiments(figs, executor=_executor(args),
+                             seed=args.seed)
+    return list(tables.values())
+
+
+def cmd_cache(args):
+    from repro.exec import ResultCache
+    if not args.cache:
+        print("cache: pass --cache DIR", file=sys.stderr)
+        raise SystemExit(2)
+    cache = ResultCache(args.cache)
+    if args.clear:
+        removed = cache.invalidate()
+        print(f"cleared {removed} cache entries from {cache.root}")
+        return ""
+    import json
+    return json.dumps(cache.stats(), indent=2)
 
 
 COMMANDS = {
@@ -184,6 +234,9 @@ COMMANDS = {
     "chase": cmd_chase,
     "spmv": cmd_spmv,
     "scaling": cmd_scaling,
+    "sweep": cmd_sweep,
+    "figures": cmd_figures,
+    "cache": cmd_cache,
     "obs": cmd_obs,
 }
 
@@ -210,6 +263,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fig8: BFS roots")
     p.add_argument("--hops", type=int, default=256,
                    help="chase: pointer-chase length")
+    p.add_argument("--workers", type=int, default=1,
+                   help="process-pool width for independent points "
+                        "(default 1 = serial; output is identical)")
+    p.add_argument("--cache", default=None, metavar="DIR",
+                   help="on-disk result cache directory (re-runs "
+                        "recompute only missing points)")
+    p.add_argument("--name", default="gups",
+                   help="sweep: which named sweep to run")
+    p.add_argument("--figs", type=lambda s: [x for x in s.split(",") if x],
+                   default=None,
+                   help="figures: comma-separated experiment ids "
+                        "(default: all runnable)")
+    p.add_argument("--clear", action="store_true",
+                   help="cache: delete all entries instead of printing "
+                        "stats")
     p.add_argument("--csv", action="store_true",
                    help="emit CSV instead of an aligned table")
     p.add_argument("--plot", action="store_true",
@@ -225,19 +293,23 @@ def main(argv=None) -> int:
         return 0
     result = COMMANDS[args.command](args)
     if isinstance(result, str):   # e.g. 'obs' emits a report document
-        print(result)
+        if result:
+            print(result)
         return 0
-    table = result
-    print(table.to_csv() if args.csv else table.render())
-    if args.plot:
-        from repro.core.asciiplot import plot_table
-        x_col = table.columns[0]
-        try:
+    tables = result if isinstance(result, list) else [result]
+    for i, table in enumerate(tables):
+        if i:
             print()
-            print(plot_table(table, x_col,
-                             logx=x_col in ("words", "nodes")))
-        except (TypeError, ValueError) as err:
-            print(f"(not plottable: {err})")
+        print(table.to_csv() if args.csv else table.render())
+        if args.plot:
+            from repro.core.asciiplot import plot_table
+            x_col = table.columns[0]
+            try:
+                print()
+                print(plot_table(table, x_col,
+                                 logx=x_col in ("words", "nodes")))
+            except (TypeError, ValueError) as err:
+                print(f"(not plottable: {err})")
     return 0
 
 

@@ -189,8 +189,14 @@ REGISTRY: Dict[str, Experiment] = {
 }
 
 
-def run_experiment(exp_id: str, **kwargs) -> Table:
-    """Regenerate one experiment's data by id."""
+def run_experiment(exp_id: str, executor=None, **kwargs) -> Table:
+    """Regenerate one experiment's data by id.
+
+    With an :class:`~repro.exec.Executor` carrying a cache, the whole
+    figure table is memoised under (experiment id, kwargs, repro
+    version): a re-run of an already-computed figure performs zero
+    simulation work.
+    """
     exp = REGISTRY.get(exp_id)
     if exp is None:
         raise KeyError(f"unknown experiment {exp_id!r}; "
@@ -198,7 +204,36 @@ def run_experiment(exp_id: str, **kwargs) -> Table:
     if exp.runner is None:
         raise ValueError(f"{exp_id} has no table runner "
                          f"(see {exp.bench})")
-    return exp.runner(**kwargs)
+    if executor is None:
+        return exp.runner(**kwargs)
+    return executor.call(exp.runner, name=f"experiment.{exp_id}",
+                         **kwargs)
+
+
+def _experiment_point(exp_id: str, **kwargs) -> Table:
+    """Module-level runner so figure grids pickle into pool workers."""
+    return REGISTRY[exp_id].runner(**kwargs)
+
+
+def run_experiments(exp_ids, executor=None, **kwargs) -> Dict[str, Table]:
+    """Regenerate several experiments, fanning whole figures across the
+    executor's worker pool (each figure is one point)."""
+    from repro.exec import Executor
+    executor = executor or Executor()
+    runnable = []
+    for exp_id in exp_ids:
+        exp = REGISTRY.get(exp_id)
+        if exp is None:
+            raise KeyError(f"unknown experiment {exp_id!r}; "
+                           f"known: {sorted(REGISTRY)}")
+        if exp.runner is None:
+            raise ValueError(f"{exp_id} has no table runner "
+                             f"(see {exp.bench})")
+        runnable.append(exp_id)
+    grid = [{"exp_id": e, **kwargs} for e in runnable]
+    tables = executor.map(_experiment_point, grid,
+                          name="experiment.batch")
+    return dict(zip(runnable, tables))
 
 
 def index_table() -> Table:

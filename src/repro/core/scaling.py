@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.cluster import ClusterSpec
 from repro.dv.fastswitch import FastCycleSwitch
@@ -42,34 +42,52 @@ class SwitchScalePoint:
     drain_cycles: int
 
 
+def switch_scale_point(height: int, angles: int = 2, per_port: int = 64,
+                       seed: int = 7) -> Dict[str, float]:
+    """One switch size under saturating uniform-random load.
+
+    A module-level runner so the scaling grid pickles into pool workers
+    and caches; the RNG is seeded per point (from ``seed`` and the
+    point's parameters), making every point's result independent of
+    which process computes it or in what order.
+    """
+    rng = random.Random(f"{seed}|{height}|{angles}|{per_port}")
+    topo = DataVortexTopology(height=height, angles=angles)
+    sw = FastCycleSwitch(topo)
+    for src in range(topo.ports):
+        for _ in range(per_port):
+            sw.inject(src, rng.randrange(topo.ports))
+    sw.run_until_drained(max_cycles=10_000_000)
+    total = per_port * topo.ports
+    return {
+        "ports": topo.ports,
+        "cylinders": topo.cylinders,
+        "mean_latency_cycles": sw.stats.mean_latency_cycles,
+        "mean_hops": sw.stats.mean_hops,
+        "mean_deflections": sw.stats.mean_deflections,
+        "throughput_per_port": total / sw.cycle / topo.ports,
+        "drain_cycles": sw.cycle,
+    }
+
+
 def switch_scaling(heights: Sequence[int] = (8, 16, 32, 64, 128),
                    angles: int = 2, per_port: int = 64,
-                   seed: int = 7) -> List[SwitchScalePoint]:
+                   seed: int = 7,
+                   executor: Optional["Executor"] = None
+                   ) -> List[SwitchScalePoint]:
     """Cycle-accurate study of the switch across sizes.
 
     Every port injects ``per_port`` packets at uniformly random
-    destinations; the switch runs until drained.
+    destinations; the switch runs until drained.  Points are
+    independent, so an :class:`~repro.exec.Executor` with workers/cache
+    fans them out; the returned order always follows ``heights``.
     """
-    rng = random.Random(seed)
-    out = []
-    for h in heights:
-        topo = DataVortexTopology(height=h, angles=angles)
-        sw = FastCycleSwitch(topo)
-        for src in range(topo.ports):
-            for _ in range(per_port):
-                sw.inject(src, rng.randrange(topo.ports))
-        sw.run_until_drained(max_cycles=10_000_000)
-        total = per_port * topo.ports
-        out.append(SwitchScalePoint(
-            ports=topo.ports,
-            cylinders=topo.cylinders,
-            mean_latency_cycles=sw.stats.mean_latency_cycles,
-            mean_hops=sw.stats.mean_hops,
-            mean_deflections=sw.stats.mean_deflections,
-            throughput_per_port=total / sw.cycle / topo.ports,
-            drain_cycles=sw.cycle,
-        ))
-    return out
+    from repro.exec import Executor
+    executor = executor or Executor()
+    grid = [{"height": h, "angles": angles, "per_port": per_port,
+             "seed": seed} for h in heights]
+    rows = executor.map(switch_scale_point, grid)
+    return [SwitchScalePoint(**row) for row in rows]
 
 
 def verify_scaling_claim(points: List[SwitchScalePoint],
@@ -103,25 +121,33 @@ def verify_scaling_claim(points: List[SwitchScalePoint],
     }
 
 
+def cluster_scale_point(n_nodes: int, seed: int = 2017
+                        ) -> Dict[str, float]:
+    """One flow-level cluster size: DV barrier latency + GUPS per PE."""
+    from repro.kernels.barrier_bench import run_barrier_bench
+    from repro.kernels.gups import run_gups
+
+    spec = ClusterSpec(n_nodes=n_nodes, seed=seed)
+    barrier = run_barrier_bench(spec, "dv", iters=8)
+    gups = run_gups(spec, "dv", table_words=1 << 12, n_updates=1 << 11)
+    return {
+        "barrier_us": barrier["latency_us"],
+        "gups_mups_per_pe": gups["mups_per_pe"],
+    }
+
+
 def cluster_scaling(node_counts: Sequence[int] = (8, 16, 32, 64, 128),
-                    seed: int = 2017) -> Dict[int, Dict[str, float]]:
+                    seed: int = 2017,
+                    executor: Optional["Executor"] = None
+                    ) -> Dict[int, Dict[str, float]]:
     """Flow-level extrapolation beyond the paper's 32 nodes.
 
     For each cluster size, measures the DV hardware-barrier latency and
     the DV GUPS per-PE rate (weak scaling).  The §IX claim extends the
     paper's Fig. 4 and Fig. 6a flatness to larger machines.
     """
-    from repro.kernels.barrier_bench import run_barrier_bench
-    from repro.kernels.gups import run_gups
-
-    out: Dict[int, Dict[str, float]] = {}
-    for n in node_counts:
-        spec = ClusterSpec(n_nodes=n, seed=seed)
-        barrier = run_barrier_bench(spec, "dv", iters=8)
-        gups = run_gups(spec, "dv", table_words=1 << 12,
-                        n_updates=1 << 11)
-        out[n] = {
-            "barrier_us": barrier["latency_us"],
-            "gups_mups_per_pe": gups["mups_per_pe"],
-        }
-    return out
+    from repro.exec import Executor
+    executor = executor or Executor()
+    grid = [{"n_nodes": n, "seed": seed} for n in node_counts]
+    rows = executor.map(cluster_scale_point, grid)
+    return {n: row for n, row in zip(node_counts, rows)}

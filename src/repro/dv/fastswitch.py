@@ -47,14 +47,28 @@ class FastCycleSwitch:
         self._next_id = 0
         self.input_queues: List[Deque[Tuple[int, int, object]]] = [
             collections.deque() for _ in range(t.ports)]
+        # O(1) queue/fabric occupancy tracking so the drain loop never
+        # rescans every queue and cylinder per cycle
+        self._pending_count = 0
+        self._in_flight = 0
+        self._port_h = [p // t.angles for p in range(t.ports)]
+        self._port_a = [p % t.angles for p in range(t.ports)]
         #: occupancy[c][h, a] = packet id or -1
         self._occ = [np.full((t.height, t.angles), _EMPTY, np.int64)
                      for _ in range(t.cylinders)]
-        # per-packet state, grown geometrically
+        # double-buffered next-state grids + claim masks, reused every
+        # step so the hot loop never allocates
+        self._occ_next = [np.full((t.height, t.angles), _EMPTY, np.int64)
+                          for _ in range(t.cylinders)]
+        self._claimed = [np.zeros((t.height, t.angles), bool)
+                         for _ in range(t.cylinders)]
+        # per-packet state, grown geometrically.  Hop counts are not
+        # tracked per cycle: a deflection network never stalls a packet
+        # in-fabric, so hops == latency - 1 by construction (the
+        # equivalence tests against the reference model pin this).
         cap = 1024
         self._dest_h = np.zeros(cap, np.int64)
         self._dest_a = np.zeros(cap, np.int64)
-        self._hops = np.zeros(cap, np.int64)
         self._defl = np.zeros(cap, np.int64)
         self._born = np.zeros(cap, np.int64)
         self._payload: List[object] = [None] * cap
@@ -75,7 +89,7 @@ class FastCycleSwitch:
         if need < cap:
             return
         new = max(2 * cap, need + 1)
-        for name in ("_dest_h", "_dest_a", "_hops", "_defl", "_born"):
+        for name in ("_dest_h", "_dest_a", "_defl", "_born"):
             arr = getattr(self, name)
             grown = np.zeros(new, np.int64)
             grown[:cap] = arr
@@ -96,46 +110,50 @@ class FastCycleSwitch:
                                                       t.angles)
         self._payload[pid] = payload
         self.input_queues[src_port].append(pid)
+        self._pending_count += 1
         return pid
 
     @property
     def in_flight(self) -> int:
-        return int(sum((o != _EMPTY).sum() for o in self._occ))
+        return self._in_flight
 
     @property
     def pending(self) -> int:
-        return sum(len(q) for q in self.input_queues)
+        return self._pending_count
 
     # -- the cycle ----------------------------------------------------------
     def step(self) -> List[Ejection]:
         t = self.topo
         L = t.levels
         innermost = t.cylinders - 1
-        new_occ = [np.full_like(o, _EMPTY) for o in self._occ]
-        claimed = [np.zeros((t.height, t.angles), bool)
-                   for _ in range(t.cylinders)]
+        old_occ = self._occ
+        new_occ = self._occ_next
+        claimed = self._claimed
 
-        # innermost: circulate at fixed height (same-cylinder move)
-        inner = self._occ[innermost]
-        moved = np.roll(inner, 1, axis=1)
-        new_occ[innermost] = moved
-        claimed[innermost] = moved != _EMPTY
-        ids = inner[inner != _EMPTY]
-        self._hops[ids] += 1
+        # innermost: circulate at fixed height (same-cylinder move);
+        # the roll is two slice copies into the reused buffer
+        inner = old_occ[innermost]
+        moved = new_occ[innermost]
+        moved[:, 0] = inner[:, -1]
+        moved[:, 1:] = inner[:, :-1]
+        np.not_equal(moved, _EMPTY, out=claimed[innermost])
 
         # bit-resolving cylinders, inner to outer
         for c in range(L - 1, -1, -1):
-            occ = self._occ[c]
+            new_occ[c].fill(_EMPTY)
+            claimed[c].fill(False)
+            occ = old_occ[c]
             mask = occ != _EMPTY
             if not mask.any():
                 continue
-            ids = occ[mask]
             h_idx, a_idx = np.nonzero(mask)
+            ids = occ[h_idx, a_idx]
             eligible = (self._hbit[c][h_idx]
                         == self._hbit[c][self._dest_h[ids]])
             # descent target (c+1, h, a+1) must not carry a same-cylinder
             # claim
-            a_next = (a_idx + 1) % t.angles
+            a_next = a_idx + 1
+            a_next[a_next == t.angles] = 0
             blocked = claimed[c + 1][h_idx, a_next]
             descend = eligible & ~blocked
             deflect = ~descend
@@ -145,28 +163,38 @@ class FastCycleSwitch:
             gh = self._perm[c][h_idx[deflect]]
             new_occ[c][gh, a_next[deflect]] = ids[deflect]
             claimed[c][gh, a_next[deflect]] = True
-            self._hops[ids] += 1
             self._defl[ids[eligible & blocked]] += 1
 
         # injection (cylinder 0, blocked by same-cylinder claims)
         obs = self._obs
-        for port, queue in enumerate(self.input_queues):
-            if not queue:
-                continue
-            h, a = divmod(port, t.angles)
-            if claimed[0][h, a] or new_occ[0][h, a] != _EMPTY:
-                self.stats.injection_blocked_cycles += 1
+        if self._pending_count:
+            stats = self.stats
+            claimed0 = claimed[0]
+            occ0 = new_occ[0]
+            port_h, port_a = self._port_h, self._port_a
+            for port, queue in enumerate(self.input_queues):
+                if not queue:
+                    continue
+                h = port_h[port]
+                a = port_a[port]
+                if claimed0[h, a] or occ0[h, a] != _EMPTY:
+                    stats.injection_blocked_cycles += 1
+                    if obs is not None:
+                        obs.blocked_cycles.inc()
+                    continue
+                pid = queue.popleft()
+                self._pending_count -= 1
+                self._in_flight += 1
+                self._born[pid] = self.cycle
+                occ0[h, a] = pid
+                stats.injected += 1
                 if obs is not None:
-                    obs.blocked_cycles.inc()
-                continue
-            pid = queue.popleft()
-            self._born[pid] = self.cycle
-            new_occ[0][h, a] = pid
-            self.stats.injected += 1
-            if obs is not None:
-                obs.injected.inc()
+                    obs.injected.inc()
 
-        # commit + ejection on arrival at the destination node
+        # commit + ejection on arrival at the destination node.  All
+        # bookkeeping (latency/hops/deflection sums, obs histograms) is
+        # batched with array ops; Ejection objects are built only for
+        # the packets actually returned.
         self.cycle += 1
         ejections: List[Ejection] = []
         inner_new = new_occ[innermost]
@@ -174,29 +202,41 @@ class FastCycleSwitch:
         if mask.any():
             h_idx, a_idx = np.nonzero(mask)
             ids = inner_new[mask]
+            lats_all = self.cycle - self._born[ids]
             at_dest = ((self._dest_h[ids] == h_idx)
                        & (self._dest_a[ids] == a_idx)
-                       & (self._hops[ids] > 0))
-            for pid, h, a in zip(ids[at_dest], h_idx[at_dest],
-                                 a_idx[at_dest]):
-                pid = int(pid)
-                lat = self.cycle - int(self._born[pid])
-                ejections.append(Ejection(
-                    cycle=self.cycle, port=t.coord_port(int(h), int(a)),
-                    pkt_id=pid, payload=self._payload[pid],
-                    latency_cycles=lat, hops=int(self._hops[pid]),
-                    deflections=int(self._defl[pid])))
-                self.stats.ejected += 1
-                self.stats.total_hops += int(self._hops[pid])
-                self.stats.total_deflections += int(self._defl[pid])
-                self.stats.total_latency_cycles += lat
-                self.stats.max_latency_cycles = max(
-                    self.stats.max_latency_cycles, lat)
+                       & (lats_all > 1))
+            if at_dest.any():
+                ej_ids = ids[at_dest]
+                ej_h = h_idx[at_dest]
+                ej_a = a_idx[at_dest]
+                lats = lats_all[at_dest]
+                hops = lats - 1
+                defl = self._defl[ej_ids]
+                ports = ej_h * t.angles + ej_a
+                st = self.stats
+                n = int(ej_ids.size)
+                st.ejected += n
+                st.total_hops += int(hops.sum())
+                st.total_deflections += int(defl.sum())
+                st.total_latency_cycles += int(lats.sum())
+                peak = int(lats.max())
+                if peak > st.max_latency_cycles:
+                    st.max_latency_cycles = peak
+                cycle = self.cycle
+                payload = self._payload
+                for pid, prt, lat, hop, dfl in zip(
+                        ej_ids.tolist(), ports.tolist(), lats.tolist(),
+                        hops.tolist(), defl.tolist()):
+                    ejections.append(Ejection(
+                        cycle=cycle, port=prt, pkt_id=pid,
+                        payload=payload[pid], latency_cycles=lat,
+                        hops=hop, deflections=dfl))
                 if obs is not None:
-                    obs.record_ejection(lat, int(self._hops[pid]),
-                                        int(self._defl[pid]))
-            inner_new[h_idx[at_dest], a_idx[at_dest]] = _EMPTY
-        self._occ = new_occ
+                    obs.record_ejections(lats, hops, defl)
+                inner_new[ej_h, ej_a] = _EMPTY
+                self._in_flight -= n
+        self._occ, self._occ_next = new_occ, old_occ
         return ejections
 
     def run_until_drained(self, max_cycles: int = 1_000_000

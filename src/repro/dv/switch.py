@@ -24,7 +24,7 @@ from repro.dv.topology import Coord, DataVortexTopology
 from repro.obs import registry as obsreg
 
 
-@dataclass
+@dataclass(slots=True)
 class FlightRecord:
     """Per-packet bookkeeping inside the switch."""
 
@@ -38,7 +38,7 @@ class FlightRecord:
     deflections: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class Ejection:
     """A packet delivered to an output port."""
 
@@ -51,7 +51,7 @@ class Ejection:
     deflections: int
 
 
-@dataclass
+@dataclass(slots=True)
 class SwitchStats:
     """Aggregate statistics of a :class:`CycleSwitch` run."""
 
@@ -110,6 +110,15 @@ class SwitchObs:
         self.deflections.inc(deflections)
         self.latency.observe(latency_cycles)
         self.hops.observe(hops)
+
+    def record_ejections(self, latencies, hops, deflections) -> None:
+        """Batch form of :meth:`record_ejection` for vectorised models:
+        same registry state as the per-packet calls, one update per
+        step."""
+        self.ejected.inc(len(latencies))
+        self.deflections.inc(int(sum(deflections)))
+        self.latency.observe_many(latencies)
+        self.hops.observe_many(hops)
 
 
 class CycleSwitch:

@@ -1,0 +1,126 @@
+"""Content-addressed on-disk cache for experiment results.
+
+Every finished point (or whole figure table) is stored as one JSON file
+named by the SHA-256 of its canonicalised identity::
+
+    {"runner": "<module.qualname>", "params": {...}, "version": "1.0.0"}
+
+so a cache entry is invalidated automatically when the runner, any
+parameter, or the repro package version changes.  Values must be
+JSON-serialisable; callers skip caching for points whose results are
+not (e.g. a result carrying a live tracer object).
+
+A corrupted or truncated entry behaves like a miss — the point is
+recomputed and the entry rewritten — never a crash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro import __version__
+
+__all__ = ["ResultCache", "cache_key"]
+
+_MISS = object()
+
+
+def _canonical(obj: Any) -> str:
+    """Stable JSON text for hashing (sorted keys, repr fallback)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      default=repr)
+
+
+def cache_key(runner_name: str, params: Mapping[str, Any],
+              version: str = __version__) -> str:
+    """SHA-256 identity of one (runner, params, version) point."""
+    ident = _canonical({"runner": runner_name, "params": dict(params),
+                        "version": version})
+    return hashlib.sha256(ident.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Directory of ``<key>.json`` result files plus hit/miss counters."""
+
+    def __init__(self, root: str) -> None:
+        self.root = str(root)
+        self.hits = 0
+        self.misses = 0
+        os.makedirs(self.root, exist_ok=True)
+
+    # -- paths -----------------------------------------------------------
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.json")
+
+    def key(self, runner_name: str, params: Mapping[str, Any],
+            version: str = __version__) -> str:
+        return cache_key(runner_name, params, version)
+
+    # -- storage ---------------------------------------------------------
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """``(hit, value)``; corrupted entries count as misses."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+            value = entry["value"]
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return (False, None)
+        self.hits += 1
+        return (True, value)
+
+    def put(self, key: str, value: Any,
+            meta: Optional[Mapping[str, Any]] = None) -> bool:
+        """Store ``value``; returns False if it is not JSON-serialisable."""
+        entry = {"key": key, "value": value}
+        if meta:
+            entry["meta"] = dict(meta)
+        try:
+            text = json.dumps(entry)
+        except (TypeError, ValueError):
+            return False
+        path = self._path(key)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        os.replace(tmp, path)   # atomic: readers never see partial JSON
+        return True
+
+    # -- management ------------------------------------------------------
+    def entries(self) -> int:
+        return sum(1 for name in os.listdir(self.root)
+                   if name.endswith(".json"))
+
+    def invalidate(self, key: Optional[str] = None) -> int:
+        """Drop one entry (or all of them); returns the number removed."""
+        removed = 0
+        if key is not None:
+            try:
+                os.remove(self._path(key))
+                removed = 1
+            except OSError:
+                pass
+            return removed
+        for name in os.listdir(self.root):
+            if name.endswith(".json"):
+                try:
+                    os.remove(os.path.join(self.root, name))
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def stats(self) -> Dict[str, Any]:
+        size = 0
+        for name in os.listdir(self.root):
+            if name.endswith(".json"):
+                try:
+                    size += os.path.getsize(os.path.join(self.root, name))
+                except OSError:
+                    pass
+        return {"root": self.root, "entries": self.entries(),
+                "bytes": size, "hits": self.hits, "misses": self.misses}

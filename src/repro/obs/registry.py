@@ -146,6 +146,36 @@ class Histogram:
         if v > self.max:
             self.max = v
 
+    def observe_many(self, values: Sequence[float]) -> None:
+        """Batch :meth:`observe` — one pass for a whole array of values.
+
+        Equivalent to calling :meth:`observe` on each element (the
+        property tests pin the equivalence); used by vectorised hot
+        paths that eject many packets per cycle.
+        """
+        n = len(values)
+        if n == 0:
+            return
+        try:
+            import numpy as np
+            arr = np.asarray(values, dtype=float)
+            idx = np.searchsorted(self.bounds, arr, side="left")
+            for i, c in zip(*np.unique(idx, return_counts=True)):
+                self.counts[int(i)] += int(c)
+            total = float(arr.sum())
+            lo = float(arr.min())
+            hi = float(arr.max())
+        except ImportError:  # pragma: no cover - numpy is a hard dep
+            for v in values:
+                self.observe(v)
+            return
+        self.count += n
+        self.total += total
+        if lo < self.min:
+            self.min = lo
+        if hi > self.max:
+            self.max = hi
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
@@ -214,6 +244,9 @@ class _NullMetric:
         pass
 
     def observe(self, v: float) -> None:
+        pass
+
+    def observe_many(self, values: Sequence[float]) -> None:
         pass
 
 

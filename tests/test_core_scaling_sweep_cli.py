@@ -128,6 +128,52 @@ def test_cli_plot_flag(capsys):
     assert "o=dv" in out            # chart legend rendered
 
 
+def test_cli_sweep_command(capsys):
+    assert cli.main(["sweep", "--name", "barrier",
+                     "--nodes", "2,4"]) == 0
+    out = capsys.readouterr().out
+    assert "barrier latency" in out and "latency_us" in out
+
+
+def test_cli_sweep_unknown_name_rejected(capsys):
+    with pytest.raises(SystemExit):
+        cli.main(["sweep", "--name", "nope"])
+
+
+def test_cli_figures_selected(capsys):
+    assert cli.main(["figures", "--figs", "fig4"]) == 0
+    out = capsys.readouterr().out
+    assert "fig4" in out
+
+
+def test_cli_scaling_with_workers_and_cache(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    assert cli.main(["scaling", "--workers", "2", "--cache",
+                     cache]) == 0
+    first = capsys.readouterr().out
+    assert cli.main(["scaling", "--cache", cache]) == 0
+    second = capsys.readouterr().out
+    assert second == first          # warm cache, identical table
+
+
+def test_cli_cache_stats_and_clear(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    assert cli.main(["sweep", "--name", "barrier", "--nodes", "2",
+                     "--cache", cache]) == 0
+    capsys.readouterr()
+    assert cli.main(["cache", "--cache", cache]) == 0
+    out = capsys.readouterr().out
+    assert '"entries": 1' in out
+    assert cli.main(["cache", "--cache", cache, "--clear"]) == 0
+    out = capsys.readouterr().out
+    assert "cleared 1" in out
+
+
+def test_cli_cache_requires_dir():
+    with pytest.raises(SystemExit):
+        cli.main(["cache"])
+
+
 def test_cli_plot_non_numeric_x_graceful(capsys):
     # fig9's x column is the application name: not plottable, but the
     # CLI must not crash

@@ -1,0 +1,164 @@
+"""Cache semantics: hit/miss/invalidate, key stability, corruption
+tolerance, and the zero-invocation warm re-run guarantee."""
+
+import json
+import os
+
+from repro.core.report import Table
+from repro.core.sweep import Sweep
+from repro.exec import Executor, ResultCache
+from repro.exec.cache import cache_key
+
+CALLS_FILE = None  # set per-test via env so pool workers can record
+
+
+def counting_runner(a, _marker_dir=None):
+    """Counts invocations through the filesystem (works across
+    processes)."""
+    if _marker_dir:
+        with open(os.path.join(_marker_dir, f"call-{a}-{os.getpid()}"),
+                  "a") as fh:
+            fh.write("x")
+    return {"sq": a * a}
+
+
+def _invocations(marker_dir):
+    return sum(1 for n in os.listdir(marker_dir)
+               if n.startswith("call-"))
+
+
+# ----------------------------------------------------------- raw cache ---
+
+def test_miss_then_hit(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    key = cache.key("r", {"a": 1})
+    hit, _ = cache.get(key)
+    assert not hit
+    cache.put(key, {"v": 42})
+    hit, value = cache.get(key)
+    assert hit and value == {"v": 42}
+    assert cache.stats()["hits"] == 1
+    assert cache.stats()["misses"] == 1
+    assert cache.stats()["entries"] == 1
+
+
+def test_key_changes_with_params_runner_and_version():
+    base = cache_key("runner", {"a": 1}, version="1.0.0")
+    assert cache_key("runner", {"a": 2}, version="1.0.0") != base
+    assert cache_key("other", {"a": 1}, version="1.0.0") != base
+    assert cache_key("runner", {"a": 1}, version="9.9.9") != base
+    # param order must not matter
+    assert cache_key("runner", {"a": 1, "b": 2}) == cache_key(
+        "runner", {"b": 2, "a": 1})
+
+
+def test_invalidate_one_and_all(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    k1, k2 = cache.key("r", {"a": 1}), cache.key("r", {"a": 2})
+    cache.put(k1, 1)
+    cache.put(k2, 2)
+    assert cache.invalidate(k1) == 1
+    assert cache.get(k1) == (False, None)
+    assert cache.get(k2) == (True, 2)
+    assert cache.invalidate() == 1
+    assert cache.entries() == 0
+
+
+def test_corrupted_entry_is_recomputed_not_crashed(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    key = cache.key("r", {"a": 1})
+    cache.put(key, {"v": 1})
+    (tmp_path / f"{key}.json").write_text("{ not json !!")
+    hit, _ = cache.get(key)
+    assert not hit                      # miss, no exception
+    cache.put(key, {"v": 2})            # rewrite heals the entry
+    assert cache.get(key) == (True, {"v": 2})
+
+
+def test_unserialisable_value_is_skipped_not_crashed(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    key = cache.key("r", {"a": 1})
+    assert cache.put(key, {"v": object()}) is False
+    assert cache.entries() == 0
+
+
+# ------------------------------------------------- executor integration ---
+
+def test_warm_sweep_performs_zero_runner_invocations(tmp_path):
+    cache_dir = tmp_path / "cache"
+    marker_dir = tmp_path / "markers"
+    marker_dir.mkdir()
+    sw = Sweep(runner=counting_runner, axes={"a": [1, 2, 3, 4]},
+               fixed={"_marker_dir": str(marker_dir)})
+
+    cold = sw.run(Executor(cache_dir=str(cache_dir)))
+    assert _invocations(marker_dir) == 4
+
+    warm = sw.run(Executor(cache_dir=str(cache_dir)))
+    assert _invocations(marker_dir) == 4      # zero new invocations
+    assert warm == cold
+
+
+def test_warm_parallel_run_matches_cold_serial(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    marker_dir = tmp_path / "markers"
+    marker_dir.mkdir()
+    sw = Sweep(runner=counting_runner, axes={"a": list(range(8))},
+               fixed={"_marker_dir": str(marker_dir)})
+    cold = sw.run(Executor(workers=4, cache_dir=cache_dir))
+    n_cold = _invocations(marker_dir)
+    assert n_cold == 8
+    warm = sw.run(Executor(workers=4, cache_dir=cache_dir))
+    assert _invocations(marker_dir) == n_cold
+    assert warm == cold == sw.run()
+
+
+def test_partial_cache_recomputes_only_missing_points(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    marker_dir = tmp_path / "markers"
+    marker_dir.mkdir()
+    fixed = {"_marker_dir": str(marker_dir)}
+    Sweep(runner=counting_runner, axes={"a": [1, 2]},
+          fixed=fixed).run(Executor(cache_dir=cache_dir))
+    assert _invocations(marker_dir) == 2
+    rows = Sweep(runner=counting_runner, axes={"a": [1, 2, 3]},
+                 fixed=fixed).run(Executor(cache_dir=cache_dir))
+    assert _invocations(marker_dir) == 3      # only a=3 ran
+    assert [r["sq"] for r in rows] == [1, 4, 9]
+
+
+def test_executor_call_caches_whole_tables(tmp_path):
+    calls = []
+
+    def build(n):
+        calls.append(n)
+        t = Table("demo", ["n", "v"])
+        t.add_row(n, n * 10)
+        return t
+
+    ex = Executor(cache_dir=str(tmp_path))
+    t1 = ex.call(build, name="demo.table", n=3)
+    t2 = ex.call(build, name="demo.table", n=3)
+    assert calls == [3]
+    assert isinstance(t2, Table)
+    assert t2.render() == t1.render()
+
+
+def test_run_experiment_warm_cache_zero_work(tmp_path):
+    from repro.core.experiments import run_experiment
+    ex = Executor(cache_dir=str(tmp_path))
+    t1 = run_experiment("fig4", executor=ex, nodes=(2,))
+    t2 = run_experiment("fig4", executor=ex, nodes=(2,))
+    assert ex.cache.hits == 1
+    assert t2.render() == t1.render()
+
+
+def test_obs_counters_record_cache_traffic(tmp_path):
+    from repro import obs
+    with obs.session() as reg:
+        ex = Executor(cache_dir=str(tmp_path))
+        sw = Sweep(runner=counting_runner, axes={"a": [1, 2]})
+        sw.run(ex)
+        sw.run(Executor(cache_dir=str(tmp_path)))
+        assert reg.value("exec.cache.misses") == 2
+        assert reg.value("exec.cache.hits") == 2

@@ -1,0 +1,90 @@
+"""The parallel executor must be a pure speed-up: identical rows to a
+serial run, original exceptions surfaced, graceful serial fallback."""
+
+import pytest
+
+from repro.core.scaling import switch_scaling
+from repro.core.sweep import Sweep
+from repro.exec import Executor
+from repro.exec.pool import run_points
+
+
+def point_runner(a, b=0):
+    """Module-level so it pickles into pool workers."""
+    return {"sum": a + b, "prod": a * b, "tag": f"{a}/{b}"}
+
+
+def crashing_runner(a):
+    if a == 3:
+        raise ValueError(f"boom at {a}")
+    return {"a": a}
+
+
+GRID = [{"a": a, "b": b} for a in range(6) for b in (1, 2, 3)]
+
+
+# ----------------------------------------------------------- run_points ---
+
+def test_parallel_results_bit_identical_to_serial():
+    serial = [r for _, r in run_points(point_runner, GRID, workers=1)]
+    parallel = [r for _, r in run_points(point_runner, GRID, workers=4)]
+    assert parallel == serial
+
+
+def test_chunked_dispatch_preserves_order():
+    pts = [{"a": i} for i in range(17)]
+    out = [r for _, r in run_points(point_runner, pts, workers=3,
+                                    chunksize=2)]
+    assert [r["sum"] for r in out] == list(range(17))
+
+
+def test_worker_crash_surfaces_original_exception():
+    pts = [{"a": i} for i in range(6)]
+    with pytest.raises(ValueError, match="boom at 3"):
+        run_points(crashing_runner, pts, workers=2)
+
+
+def test_serial_crash_surfaces_original_exception():
+    pts = [{"a": i} for i in range(6)]
+    with pytest.raises(ValueError, match="boom at 3"):
+        run_points(crashing_runner, pts, workers=1)
+
+
+def test_unpicklable_runner_falls_back_to_serial():
+    pts = [{"a": i} for i in range(5)]
+    out = [r for _, r in run_points(lambda a: {"sq": a * a}, pts,
+                                    workers=4)]
+    assert [r["sq"] for r in out] == [0, 1, 4, 9, 16]
+
+
+def test_timings_are_reported_per_point():
+    timed = run_points(point_runner, GRID[:4], workers=1)
+    assert all(dt >= 0 for dt, _ in timed)
+
+
+# ------------------------------------------------------------- Executor ---
+
+def test_executor_map_matches_serial():
+    serial = Executor(workers=1).map(point_runner, GRID)
+    parallel = Executor(workers=4).map(point_runner, GRID)
+    assert parallel == serial
+
+
+def test_sweep_rows_identical_serial_vs_parallel():
+    sw = Sweep(runner=point_runner, axes={"a": [1, 2, 3], "b": [5, 7]})
+    assert sw.run(Executor(workers=4)) == sw.run()
+
+
+def test_sweep_run_table_formats_rows_once():
+    sw = Sweep(runner=point_runner, axes={"a": [2, 4]}, fixed={"b": 3})
+    t = sw.run_table("sums", ["a", "sum"])
+    assert t.column("sum") == [5, 7]
+    # the legacy .table() alias goes through the same path
+    assert sw.table("sums", ["a", "sum"]).column("sum") == [5, 7]
+
+
+def test_switch_scaling_parallel_identical_to_serial():
+    serial = switch_scaling(heights=(4, 8, 16), per_port=16)
+    parallel = switch_scaling(heights=(4, 8, 16), per_port=16,
+                              executor=Executor(workers=3))
+    assert parallel == serial

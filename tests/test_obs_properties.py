@@ -44,6 +44,25 @@ def check_histogram_invariants(values):
     assert ps[-1] == h.max
 
 
+def check_observe_many_equivalent(values):
+    """Batch observation must land in the same registry state as
+    per-value observation (the vectorised switch relies on this)."""
+    one, many = Histogram("t"), Histogram("t")
+    for v in values:
+        one.observe(v)
+    many.observe_many(values)
+    assert many.counts == one.counts
+    assert many.count == one.count
+    assert (many.min, many.max) == (one.min, one.max)
+    assert math.isclose(many.total, one.total, rel_tol=1e-12)
+    # incremental batches compose with per-value observation
+    mixed = Histogram("t")
+    mixed.observe_many(values[: len(values) // 2])
+    for v in values[len(values) // 2:]:
+        mixed.observe(v)
+    assert mixed.counts == one.counts and mixed.count == one.count
+
+
 def check_merge_associative(xs, ys, zs):
     """(X + Y) + Z == X + (Y + Z) == Z + X + Y, bucket for bucket."""
     def hist(vals):
@@ -82,6 +101,11 @@ if HAVE_HYPOTHESIS:
     def test_histogram_merge_associative(xs, ys, zs):
         check_merge_associative(xs, ys, zs)
 
+    @given(st.lists(finite, min_size=1, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_observe_many_equivalent(values):
+        check_observe_many_equivalent(values)
+
     @given(st.lists(st.floats(min_value=1e-6, max_value=1e6,
                               allow_nan=False), min_size=1, max_size=50))
     @settings(max_examples=60, deadline=None)
@@ -118,6 +142,11 @@ else:                           # pragma: no cover - fallback sweeps
                                             int(rng.integers(1, 200))))
                           for _ in range(3))
             check_merge_associative(xs, ys, zs)
+
+    def test_observe_many_equivalent():
+        for rng, size in _cases("observe-many"):
+            check_observe_many_equivalent(
+                list(rng.uniform(1e-9, 1e12, size)))
 
     def test_mean_inequality():
         for rng, size in _cases("means"):
