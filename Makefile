@@ -5,14 +5,15 @@
 PYTHON  ?= python
 PYTEST   = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-all test-exec bench obs help
+.PHONY: test test-all test-exec test-faults bench obs help
 
 help:
-	@echo "make test      - fast test suite (excludes tests marked 'slow')"
-	@echo "make test-all  - full test suite, slow overhead guards included"
-	@echo "make test-exec - executor/cache test suite only"
-	@echo "make bench     - perf regression benchmarks; updates BENCH_exec.json"
-	@echo "make obs       - example unified observability report (JSON)"
+	@echo "make test        - fast test suite (excludes tests marked 'slow')"
+	@echo "make test-all    - full test suite, slow overhead guards included"
+	@echo "make test-exec   - executor/cache test suite only"
+	@echo "make test-faults - fault-injection + reliable-transport suite only"
+	@echo "make bench       - perf regression benchmarks; updates BENCH_exec.json"
+	@echo "make obs         - example unified observability report (JSON)"
 
 test:
 	$(PYTEST) -x -q -m "not slow"
@@ -22,6 +23,9 @@ test-all:
 
 test-exec:
 	$(PYTEST) -x -q tests/test_exec_pool.py tests/test_exec_cache.py
+
+test-faults:
+	$(PYTEST) -x -q tests/test_faults.py tests/test_dv_transport.py
 
 bench:
 	$(PYTEST) -q -m slow benchmarks/test_perf_regression.py

@@ -7,7 +7,12 @@ Measured:
 * 64-port ``FastCycleSwitch.run_until_drained`` under saturating
   uniform-random load (the §IX scale-up inner loop);
 * a cold (all points simulated) vs warm (all points from the on-disk
-  cache) switch-scaling sweep through the executor.
+  cache) switch-scaling sweep through the executor;
+* the faults-disabled guard cost on the same 64-port drain (the
+  ``repro.faults`` zero-cost-when-disabled contract, same bound as the
+  obs guard);
+* a small throughput-degradation sweep (GUPS vs. drop rate on both
+  fabrics), serial and parallel runs asserted identical.
 """
 
 import json
@@ -98,4 +103,79 @@ def test_cached_sweep_vs_cold(tmp_path):
         "cold_seconds": round(cold_s, 4),
         "warm_seconds": round(warm_s, 4),
         "speedup": round(cold_s / max(warm_s, 1e-9), 1),
+    })
+
+
+def test_faults_disabled_guard_overhead_under_ten_percent():
+    """With no FaultPlan installed, the fault hooks cost one
+    ``is not None`` test per injection — bound their total under 10%
+    of the 64-port drain, the same contract `tests/test_obs_overhead.py`
+    pins for the obs guards."""
+    import random
+    import timeit
+
+    from repro import faults
+
+    faults.injector.clear()
+    topo = DataVortexTopology(height=32, angles=2)
+    per_port = 64
+    rng = random.Random(7)
+    pairs = [(src, rng.randrange(topo.ports))
+             for src in range(topo.ports) for _ in range(per_port)]
+
+    sw = FastCycleSwitch(topo)
+    assert sw._faults is None                   # truly disabled
+    t0 = time.perf_counter()
+    for s, d in pairs:
+        sw.inject(s, d)
+    ejected = sw.run_until_drained(max_cycles=10_000_000)
+    run_s = time.perf_counter() - t0
+    assert len(ejected) == len(pairs)
+
+    guards = len(pairs)                         # one guard per inject
+    guard_s = timeit.timeit("f is not None",
+                            globals={"f": sw._faults}, number=guards)
+    _record("faults_disabled_guard", {
+        "ports": topo.ports,
+        "packets": len(pairs),
+        "run_seconds": round(run_s, 4),
+        "guard_seconds": round(guard_s, 6),
+        "guard_fraction": round(guard_s / run_s, 4),
+    })
+    assert guard_s < 0.10 * run_s, (
+        f"faults guard overhead {guard_s:.4f}s is >= 10% of the "
+        f"{run_s:.4f}s faults-disabled run ({guards} guards)")
+
+
+def test_degradation_sweep_serial_parallel_identical(tmp_path):
+    """The capstone sweep on a small grid: GUPS throughput vs. drop
+    rate on both fabrics.  The parallel cached run must reproduce the
+    serial one row for row (seeded fault plans are worker-invariant)."""
+    from repro.faults.experiments import degradation_table
+
+    t0 = time.perf_counter()
+    serial = degradation_table(Executor(), workloads=("gups",),
+                               drops=(0.0, 0.02), nodes=4)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    par = degradation_table(
+        Executor(workers=2, cache_dir=str(tmp_path / "deg-cache")),
+        workloads=("gups",), drops=(0.0, 0.02), nodes=4)
+    par_s = time.perf_counter() - t0
+
+    assert par.render() == serial.render()
+    rows = {(r[0], r[1], r[2]): r for r in serial.rows}
+    assert all(r[6] for r in serial.rows)        # every point validated
+    # loss actually degrades DV and costs retransmits
+    assert rows[("gups", "dv", 0.02)][5] > 0
+    assert (rows[("gups", "dv", 0.02)][3]
+            < rows[("gups", "dv", 0.0)][3])
+    _record("degradation_sweep", {
+        "drops": [0.0, 0.02],
+        "serial_seconds": round(serial_s, 4),
+        "parallel_seconds": round(par_s, 4),
+        "dv_mups_clean": round(rows[("gups", "dv", 0.0)][3], 2),
+        "dv_mups_drop02": round(rows[("gups", "dv", 0.02)][3], 2),
+        "retransmits_drop02": rows[("gups", "dv", 0.02)][5],
     })

@@ -11,6 +11,7 @@ Usage::
     python -m repro.cli figures --figs fig4,fig6 --workers 2
     python -m repro.cli sweep --name gups --nodes 4,8,16
     python -m repro.cli cache --cache .repro-cache   # stats / --clear
+    python -m repro.cli faults --drops 0,0.02,0.05 --workloads gups
     python -m repro.cli list
 
 Each subcommand prints the figure's data as an aligned table (the same
@@ -209,6 +210,17 @@ def cmd_figures(args):
     return list(tables.values())
 
 
+def cmd_faults(args) -> Table:
+    """Degradation sweep: GUPS/BFS throughput vs. packet-drop rate on
+    both fabrics (DV through the reliable transport, IB through the
+    HCA's invisible retries).  See docs/faults.md."""
+    from repro.faults.experiments import degradation_table
+    return degradation_table(_executor(args),
+                             workloads=args.workloads,
+                             drops=args.drops,
+                             nodes=min(args.nodes), seed=args.seed)
+
+
 def cmd_cache(args):
     from repro.exec import ResultCache
     if not args.cache:
@@ -238,6 +250,7 @@ COMMANDS = {
     "figures": cmd_figures,
     "cache": cmd_cache,
     "obs": cmd_obs,
+    "faults": cmd_faults,
 }
 
 
@@ -275,6 +288,15 @@ def build_parser() -> argparse.ArgumentParser:
                    default=None,
                    help="figures: comma-separated experiment ids "
                         "(default: all runnable)")
+    p.add_argument("--drops",
+                   type=lambda s: [float(x) for x in s.split(",") if x],
+                   default=[0.0, 0.01, 0.02, 0.05, 0.1],
+                   help="faults: comma-separated packet-drop "
+                        "probabilities")
+    p.add_argument("--workloads",
+                   type=lambda s: [x for x in s.split(",") if x],
+                   default=["gups", "bfs"],
+                   help="faults: comma-separated workloads (gups,bfs)")
     p.add_argument("--clear", action="store_true",
                    help="cache: delete all entries instead of printing "
                         "stats")

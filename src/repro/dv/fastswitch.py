@@ -31,14 +31,19 @@ import numpy as np
 
 from repro.dv.switch import Ejection, SwitchObs, SwitchStats
 from repro.dv.topology import DataVortexTopology
+from repro.faults import injector as fltreg
 
 _EMPTY = -1
 
 
 class FastCycleSwitch:
-    """Vectorised drop-in for :class:`repro.dv.switch.CycleSwitch`
-    (fault injection is not supported here; use the reference model
-    for reliability studies)."""
+    """Vectorised drop-in for :class:`repro.dv.switch.CycleSwitch`.
+
+    An installed :class:`~repro.faults.plan.FaultPlan` applies
+    link-level loss at injection (``drop_prob`` per packet); node
+    failures and outage windows need the reference model
+    (:class:`~repro.dv.switch.CycleSwitch`), which simulates individual
+    switching nodes."""
 
     def __init__(self, topology: DataVortexTopology) -> None:
         self.topo = topology
@@ -82,6 +87,7 @@ class FastCycleSwitch:
              for c in range(t.levels)], np.int64)
         self.stats = SwitchStats()
         self._obs = SwitchObs.create("fast")
+        self._faults = fltreg.site("dv.fastswitch")
 
     # -- plumbing ------------------------------------------------------------
     def _grow(self, need: int) -> None:
@@ -109,6 +115,13 @@ class FastCycleSwitch:
         self._dest_h[pid], self._dest_a[pid] = divmod(dest_port,
                                                       t.angles)
         self._payload[pid] = payload
+        if self._faults is not None and self._faults.drop():
+            # link-level loss at the injection fibre: the packet never
+            # enters the fabric (it keeps its id for caller bookkeeping)
+            self.stats.dropped += 1
+            if self._obs is not None:
+                self._obs.dropped.inc()
+            return pid
         self.input_queues[src_port].append(pid)
         self._pending_count += 1
         return pid

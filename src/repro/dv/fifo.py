@@ -79,7 +79,10 @@ class SurpriseFIFO:
             if self._obs_on:
                 self._m_dropped.inc(values.size - room)
             self.dropped += values.size - room
-            values = values[:room]
+            # copy: values[:room] is a view of the caller's array, and a
+            # caller reusing its buffer after a partial accept would
+            # rewrite words already queued here
+            values = values[:room].copy()
         if values.size:
             self._segments.append(values)
             self._src_tags.append(src)

@@ -22,10 +22,15 @@ switch on small configurations.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from heapq import heappop, heappush
 from typing import Any, Callable, List, Optional, Sequence
+
+import numpy as np
 
 from repro.dv.config import DVConfig
 from repro.dv.topology import DataVortexTopology
+from repro.dv.vic import FifoPush, MemWrite
+from repro.faults import injector as fltreg
 from repro.obs import registry as obsreg
 from repro.sim.engine import Engine
 from repro.sim.events import Event
@@ -71,7 +76,16 @@ class FlowNetwork:
         #: earliest time each port can inject / eject its next packet
         self._inject_free = [0.0] * n_ports
         self._eject_free = [0.0] * n_ports
+        # incremental busy-port tracking for _load(): a min-heap of
+        # (inject_free, port) marks plus a per-port busy flag, so the
+        # load estimate costs amortised O(log ports) per transfer
+        # instead of rescanning every port (lazy deletion: superseded
+        # heap entries are skipped when popped).
+        self._busy_heap: List[tuple] = []
+        self._port_busy = [False] * n_ports
+        self._busy_ports = 0
         self.stats = FlowStats()
+        self._faults = fltreg.site("dv.flow")
         self._obs_on = obsreg.enabled()
         if self._obs_on:
             self._m_packets = obsreg.counter("dv.flow.packets")
@@ -88,9 +102,62 @@ class FlowNetwork:
 
     # -- load estimate ----------------------------------------------------------
     def _load(self, now: float) -> float:
-        """Fraction of ports currently busy injecting (deflection driver)."""
-        busy = sum(1 for t in self._inject_free if t > now)
-        return busy / self.n_ports
+        """Fraction of ports currently busy injecting (deflection driver).
+
+        A port is busy while ``_inject_free[port] > now``.  Expired heap
+        marks are retired lazily; ``now`` never decreases between calls
+        (all callers pass ``engine.now``), so each mark is popped once.
+        """
+        heap = self._busy_heap
+        while heap and heap[0][0] <= now:
+            _, port = heappop(heap)
+            if self._port_busy[port] and self._inject_free[port] <= now:
+                self._port_busy[port] = False
+                self._busy_ports -= 1
+        return self._busy_ports / self.n_ports
+
+    # -- fault injection -------------------------------------------------------
+    def _apply_faults(self, fsite, effect, src: int, dest: int,
+                      sent_at: float):
+        """Degrade a delivered data batch per the installed FaultPlan.
+
+        Only data-bearing effects (MemWrite/FifoPush) are degraded;
+        control packets (counter ops, queries, timing-only payloads) are
+        modelled as protected by link-level CRC retry, so barriers and
+        counters stay live under faults.  Returns the surviving effect,
+        or None when the entire batch was lost.
+        """
+        if fsite.has_outages and (fsite.link_down(src, sent_at)
+                                  or fsite.link_down(dest, self.engine.now)):
+            return None
+        if isinstance(effect, MemWrite):
+            addrs = np.atleast_1d(np.asarray(effect.addrs))
+            values = np.atleast_1d(np.asarray(effect.values, np.uint64))
+            mask = fsite.keep_mask(addrs.size)
+            if mask is not None:
+                addrs = addrs[mask]
+                values = values[mask]
+                if addrs.size == 0:
+                    return None
+            corrupted = fsite.corrupt_values(values)
+            if corrupted is not None:
+                values = corrupted
+            if mask is None and corrupted is None:
+                return effect
+            return MemWrite(addrs=addrs, values=values,
+                            counter=effect.counter)
+        values = np.atleast_1d(np.asarray(effect.values, np.uint64))
+        mask = fsite.keep_mask(values.size)
+        if mask is not None:
+            values = values[mask]
+            if values.size == 0:
+                return None
+        corrupted = fsite.corrupt_values(values)
+        if corrupted is not None:
+            values = corrupted
+        if mask is None and corrupted is None:
+            return effect
+        return FifoPush(values=values, counter=effect.counter)
 
     def time_of_flight(self, src: int, dest: int, now: float) -> float:
         """Latency of the first packet of a transfer entering at ``now``."""
@@ -129,6 +196,10 @@ class FlowNetwork:
         self.stats.total_injection_wait_s += inj_start - now
         inj_end = inj_start + n_packets * gap
         self._inject_free[src] = inj_end
+        if not self._port_busy[src]:
+            self._port_busy[src] = True
+            self._busy_ports += 1
+        heappush(self._busy_heap, (inj_end, src))
 
         # 2. time of flight of the first packet
         tof = self.time_of_flight(src, dest, now)
@@ -143,6 +214,8 @@ class FlowNetwork:
 
         done = self.engine.event(name=f"dv:tx {src}->{dest} x{n_packets}")
         receiver = self._receivers[dest]
+        fsite = self._faults
+        sent_at = now
 
         # 3. ejection serialisation at the destination port, reserved at
         # *arrival* time — not at call time — so streams claim the port
@@ -160,8 +233,20 @@ class FlowNetwork:
             self._eject_free[dest] = ej_end
 
             def _deliver(_ev2: Event) -> None:
+                eff = payload
+                if fsite is not None and isinstance(eff,
+                                                    (MemWrite, FifoPush)):
+                    eff = self._apply_faults(fsite, eff, src, dest, sent_at)
+                    if eff is None:
+                        # the whole batch was lost on the fabric; the
+                        # transfer still "completes" from the sender's
+                        # perspective (sends are one-sided and
+                        # fire-and-forget) — recovering lost data is the
+                        # reliable transport's job, not the network's
+                        done.succeed(payload)
+                        return
                 if receiver is not None:
-                    receiver(src, payload, n_packets)
+                    receiver(src, eff, n_packets)
                 done.succeed(payload)
 
             marker2 = self.engine.event(name="dv:eject")

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Generator
 
 from repro.dv.config import DVConfig
+from repro.faults import injector as fltreg
 from repro.obs import registry as obsreg
 from repro.sim.engine import Engine
 from repro.sim.resources import Resource
@@ -44,6 +45,8 @@ class PCIeBus:
         self.bytes_pio_read = 0
         self.bytes_dma_written = 0
         self.bytes_dma_read = 0
+        # per-transaction DMA stalls / PIO delay spikes (FaultPlan)
+        self._faults = fltreg.site("dv.pcie")
         # one shared series per (path, direction) across all nodes
         self._obs_on = obsreg.enabled()
         if self._obs_on:
@@ -58,11 +61,13 @@ class PCIeBus:
     def direct_write(self, nbytes: int) -> Generator:
         """Host -> VIC programmed-I/O write of ``nbytes``."""
         self._validate(nbytes)
+        fs = self._faults
         yield self._pio.acquire()
         try:
             yield self.engine.timeout(
                 self.config.pio_setup_s
-                + nbytes / self.config.pcie_direct_write_bw)
+                + nbytes / self.config.pcie_direct_write_bw
+                + (fs.pcie_delay_s() if fs is not None else 0.0))
             self.bytes_pio_written += nbytes
             if self._obs_on:
                 self._record("pio", "write", nbytes)
@@ -72,11 +77,13 @@ class PCIeBus:
     def direct_read(self, nbytes: int) -> Generator:
         """VIC -> host programmed-I/O read of ``nbytes``."""
         self._validate(nbytes)
+        fs = self._faults
         yield self._pio.acquire()
         try:
             yield self.engine.timeout(
                 self.config.pio_setup_s
-                + nbytes / self.config.pcie_direct_read_bw)
+                + nbytes / self.config.pcie_direct_read_bw
+                + (fs.pcie_delay_s() if fs is not None else 0.0))
             self.bytes_pio_read += nbytes
             if self._obs_on:
                 self._record("pio", "read", nbytes)
@@ -98,12 +105,14 @@ class PCIeBus:
     def dma_write(self, nbytes: int) -> Generator:
         """Host -> VIC DMA (requires HugeTLB pages on the real system)."""
         self._validate(nbytes)
+        fs = self._faults
         for chunk in self._dma_chunks(nbytes):
             yield self._dma.acquire()
             try:
                 yield self.engine.timeout(
                     self.config.dma_setup_s
-                    + chunk / self.config.pcie_dma_write_bw)
+                    + chunk / self.config.pcie_dma_write_bw
+                    + (fs.dma_stall_s() if fs is not None else 0.0))
                 self.bytes_dma_written += chunk
                 if self._obs_on:
                     self._record("dma", "write", chunk)
@@ -113,12 +122,14 @@ class PCIeBus:
     def dma_read(self, nbytes: int) -> Generator:
         """VIC -> host DMA."""
         self._validate(nbytes)
+        fs = self._faults
         for chunk in self._dma_chunks(nbytes):
             yield self._dma.acquire()
             try:
                 yield self.engine.timeout(
                     self.config.dma_setup_s
-                    + chunk / self.config.pcie_dma_read_bw)
+                    + chunk / self.config.pcie_dma_read_bw
+                    + (fs.dma_stall_s() if fs is not None else 0.0))
                 self.bytes_dma_read += chunk
                 if self._obs_on:
                     self._record("dma", "read", chunk)

@@ -156,17 +156,30 @@ def terminal_reliability(topo: DataVortexTopology, p_fail: float,
     return ok / total
 
 
-def routed_delivery_rate(topo: DataVortexTopology, p_fail: float,
+def routed_delivery_rate(topo: DataVortexTopology,
+                         p_fail: Optional[float] = None,
                          trials: int = 50, packets_per_trial: int = 64,
-                         seed: int = 0) -> float:
+                         seed: int = 0, plan=None) -> float:
     """Fraction of packets the *actual* deflection routing delivers
-    under random node failures (cycle-accurate, TTL-bounded)."""
+    under random node failures (cycle-accurate, TTL-bounded).
+
+    Failures are drawn either i.i.d. at ``p_fail`` per node, or — when a
+    :class:`repro.faults.FaultPlan` is passed — from
+    ``plan.switch_failures(topo, trial)``, the same seeded draws an
+    *installed* plan applies to every :class:`CycleSwitch`, so the
+    number here is directly comparable with fault-injected experiment
+    runs."""
+    if plan is None and p_fail is None:
+        raise ValueError("pass p_fail or a FaultPlan")
     rng = random.Random(seed)
     delivered = 0
     total = 0
     ttl = 16 * (topo.cylinders + topo.angles)
-    for _ in range(trials):
-        failed = _sample_failures(topo, p_fail, rng)
+    for trial in range(trials):
+        if plan is not None:
+            failed = plan.switch_failures(topo, trial=trial)
+        else:
+            failed = _sample_failures(topo, p_fail, rng)
         sw = CycleSwitch(topo, failed_nodes=failed, ttl_hops=ttl)
         for _ in range(packets_per_trial):
             sw.inject(rng.randrange(topo.ports),

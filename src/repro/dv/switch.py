@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from repro.dv.topology import Coord, DataVortexTopology
+from repro.faults import injector as fltreg
 from repro.obs import registry as obsreg
 
 
@@ -148,6 +149,13 @@ class CycleSwitch:
         #: node accepts no packet; a packet whose descend *and* deflect
         #: targets are both unavailable is dropped and counted.
         self.failed_nodes: set = set(failed_nodes or ())
+        # an installed FaultPlan contributes its seeded static failures;
+        # TTL defaults on so unreachable destinations cannot livelock
+        plan = fltreg.active()
+        if plan is not None and plan.switch_node_fail_prob > 0.0:
+            self.failed_nodes |= plan.switch_failures(topology)
+            if ttl_hops is None and self.failed_nodes:
+                ttl_hops = 16 * (topology.cylinders + topology.angles)
         for c in self.failed_nodes:
             if not (0 <= c[0] < topology.cylinders
                     and 0 <= c[1] < topology.height

@@ -1,0 +1,434 @@
+"""Reliable, exactly-once messaging over the lossy Data Vortex fabric.
+
+The raw switch is fire-and-forget: under an installed
+:class:`~repro.faults.plan.FaultPlan` packets vanish or arrive
+corrupted, and nothing in :mod:`repro.dv.api` notices.  This module
+adds the software reliability layer the paper's programming model
+leaves to the application — the DV analogue of what the IB HCA does in
+hardware — so kernels can *complete correctly* on a degraded fabric:
+
+* every message travels as one **frame** through the destination's
+  surprise FIFO: a header word (magic, kind, tag, 24-bit sequence
+  number, 24-bit length), the payload words, and a trailing CRC-32 of
+  everything before it;
+* the receiver checks magic/length/CRC — a frame that lost words or
+  took bit flips is silently discarded (no ACK), exactly like a
+  corrupted wire packet;
+* intact frames are acknowledged with a 2-word ACK frame generated
+  VIC-side (no host involvement, like the hardware's query replies);
+  duplicates — retransmissions whose original ACK was lost — are
+  detected by sequence number, re-ACKed, and dropped, giving
+  exactly-once delivery to the application inbox;
+* the sender retransmits unacknowledged frames from the VIC's retry
+  buffer on a capped exponential backoff and gives up (failing the
+  frame's event with :class:`TransportError`) after
+  ``max_retries`` attempts.
+
+Per-endpoint delivery statistics are kept in
+:class:`TransportStats`; when :mod:`repro.obs` is collecting, frame
+traffic lands in ``dv.transport.*`` counters and the
+``dv.transport.attempts`` histogram (how many tries each frame
+needed — the degradation experiments plot its tail).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.dv.api import DataVortexAPI
+from repro.dv.vic import FifoPush
+from repro.obs import registry as obsreg
+from repro.sim.events import Event
+
+__all__ = ["ReliableTransport", "TransportConfig", "TransportStats",
+           "TransportError"]
+
+_MAGIC = 0xDF
+_KIND_DATA = 0
+_KIND_ACK = 1
+_MAX_SEQ = 1 << 24
+_MAX_LEN = (1 << 24) - 1
+
+
+class TransportError(RuntimeError):
+    """A frame exhausted its retries without being acknowledged."""
+
+    def __init__(self, dest: int, seq: int, attempts: int) -> None:
+        super().__init__(
+            f"frame seq={seq} to endpoint {dest} unacknowledged after "
+            f"{attempts} attempts")
+        self.dest = dest
+        self.seq = seq
+        self.attempts = attempts
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """Protocol parameters (see docs/faults.md for the tuning rationale).
+
+    The initial timeout must comfortably exceed one frame round trip
+    (sub-microsecond on an idle switch); the cap keeps the backoff from
+    stretching a single loss into milliseconds of idle fabric.
+
+    Note that per-*packet* loss compounds over a frame: a whole frame
+    of ``k`` words survives with probability ``(1-p)^k``, so high drop
+    rates want short frames (the degradation experiment shrinks
+    ``frame_words`` as the drop axis climbs) and a generous retry
+    budget — retries are cheap, an aborted run is not.
+    """
+
+    retry_timeout_s: float = 50e-6
+    backoff_factor: float = 2.0
+    max_timeout_s: float = 1e-3
+    max_retries: int = 30
+    #: payload words per frame for :meth:`ReliableTransport.send_batch`
+    frame_words: int = 64
+    #: PCIe path frames are charged to ("direct" or "dma")
+    via: str = "dma"
+
+    def __post_init__(self) -> None:
+        if self.retry_timeout_s <= 0 or self.max_timeout_s <= 0:
+            raise ValueError("timeouts must be positive")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if not 1 <= self.max_retries <= 128:
+            raise ValueError("max_retries must be in [1, 128]")
+        if not 1 <= self.frame_words <= _MAX_LEN:
+            raise ValueError("frame_words out of range")
+        if self.via not in ("direct", "dma"):
+            raise ValueError('via must be "direct" or "dma"')
+
+
+@dataclass
+class EndpointStats:
+    """Delivery accounting for one remote endpoint."""
+
+    frames_sent: int = 0
+    frames_acked: int = 0
+    retransmits: int = 0
+    frames_failed: int = 0
+    frames_delivered: int = 0      #: intact DATA frames accepted from them
+    words_delivered: int = 0
+    duplicates: int = 0            #: retransmissions we had already seen
+    corrupt_dropped: int = 0       #: frames failing magic/length/CRC
+
+
+@dataclass
+class TransportStats:
+    """Aggregate plus per-endpoint transport accounting."""
+
+    endpoints: Dict[int, EndpointStats] = field(default_factory=dict)
+
+    def endpoint(self, peer: int) -> EndpointStats:
+        st = self.endpoints.get(peer)
+        if st is None:
+            st = self.endpoints[peer] = EndpointStats()
+        return st
+
+    def _total(self, name: str) -> int:
+        return sum(getattr(e, name) for e in self.endpoints.values())
+
+    @property
+    def frames_sent(self) -> int:
+        return self._total("frames_sent")
+
+    @property
+    def frames_acked(self) -> int:
+        return self._total("frames_acked")
+
+    @property
+    def retransmits(self) -> int:
+        return self._total("retransmits")
+
+    @property
+    def frames_delivered(self) -> int:
+        return self._total("frames_delivered")
+
+    @property
+    def words_delivered(self) -> int:
+        return self._total("words_delivered")
+
+    @property
+    def duplicates(self) -> int:
+        return self._total("duplicates")
+
+    @property
+    def corrupt_dropped(self) -> int:
+        return self._total("corrupt_dropped")
+
+
+# ------------------------------------------------------------- framing ---
+
+def _crc(words: np.ndarray) -> int:
+    return zlib.crc32(words.tobytes())
+
+
+def _pack_header(kind: int, tag: int, seq: int, length: int) -> int:
+    return ((_MAGIC << 56) | (((tag << 4) | kind) << 48)
+            | (seq << 24) | length)
+
+
+def _build_frame(kind: int, tag: int, seq: int,
+                 payload: Optional[np.ndarray] = None) -> np.ndarray:
+    n = 0 if payload is None else int(payload.size)
+    frame = np.empty(n + 2, np.uint64)
+    frame[0] = _pack_header(kind, tag, seq, n)
+    if n:
+        frame[1:-1] = payload
+    frame[-1] = _crc(frame[:-1])
+    return frame
+
+
+def _parse_frame(words: np.ndarray) -> Optional[Tuple[int, int, int,
+                                                      np.ndarray]]:
+    """``(kind, tag, seq, payload)`` for an intact frame, else None."""
+    if words.size < 2:
+        return None
+    header = int(words[0])
+    if (header >> 56) & 0xFF != _MAGIC:
+        return None
+    length = header & _MAX_LEN
+    if length != words.size - 2:
+        return None                       # words were dropped in flight
+    if int(words[-1]) != _crc(words[:-1]):
+        return None                       # bit flips in flight
+    kind = (header >> 48) & 0xF
+    tag = (header >> 52) & 0xF
+    seq = (header >> 24) & (_MAX_SEQ - 1)
+    return kind, tag, seq, words[1:-1]
+
+
+class _Pending:
+    """One in-flight DATA frame awaiting acknowledgement."""
+
+    __slots__ = ("dest", "seq", "frame", "event", "attempts", "timeout",
+                 "acked")
+
+    def __init__(self, dest: int, seq: int, frame: np.ndarray,
+                 event: Event, timeout: float) -> None:
+        self.dest = dest
+        self.seq = seq
+        self.frame = frame
+        self.event = event
+        self.attempts = 1
+        self.timeout = timeout
+        self.acked = False
+
+
+# ----------------------------------------------------------- transport ---
+
+class ReliableTransport:
+    """Sequence/ACK/retry endpoint for one rank.
+
+    Construct one per rank over its :class:`~repro.dv.api.DataVortexAPI`
+    and call :meth:`start` once so the receive pump owns the surprise
+    FIFO (the application must then read messages through
+    :meth:`recv_wait`/:meth:`take`, never ``fifo_take``).
+    """
+
+    def __init__(self, api: DataVortexAPI,
+                 config: Optional[TransportConfig] = None) -> None:
+        self.api = api
+        self.engine = api.engine
+        self.rank = api.rank
+        self.config = config or TransportConfig()
+        self.stats = TransportStats()
+        self._next_seq: Dict[int, int] = {}
+        self._pending: Dict[Tuple[int, int], _Pending] = {}
+        self._failed: List[TransportError] = []
+        self._seen: Dict[int, Set[int]] = {}
+        self._inbox: List[Tuple[int, int, np.ndarray]] = []
+        self._inbox_waiters: List[Event] = []
+        self._started = False
+        self._obs_on = obsreg.enabled()
+        if self._obs_on:
+            self._m_sent = obsreg.counter("dv.transport.frames_sent")
+            self._m_retx = obsreg.counter("dv.transport.retransmits")
+            self._m_acked = obsreg.counter("dv.transport.frames_acked")
+            self._m_dup = obsreg.counter("dv.transport.duplicates")
+            self._m_corrupt = obsreg.counter("dv.transport.corrupt_dropped")
+            self._m_words = obsreg.counter("dv.transport.words_delivered")
+            self._m_attempts = obsreg.histogram("dv.transport.attempts")
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the receive pump (idempotent)."""
+        if not self._started:
+            self._started = True
+            self.engine.process(self._pump(), name=f"transport{self.rank}")
+
+    # -- sending -----------------------------------------------------------
+    def send(self, dest: int, words, tag: int = 0) -> Generator:
+        """Reliably deliver ``words`` (<= ``frame_words`` per call is
+        typical; hard cap 2^24-1) into ``dest``'s transport inbox.
+
+        Charges the caller the same host-side costs as a raw
+        ``send_fifo`` (API overhead + one PCIe crossing for the frame);
+        the retry machinery runs VIC-side afterwards.  Returns the
+        frame's delivery event — ``flush()`` waits on all of them.
+        """
+        if not 0 <= tag < 16:
+            raise ValueError("tag must fit in 4 bits")
+        payload = np.atleast_1d(np.asarray(words, dtype=np.uint64))
+        if payload.size == 0:
+            raise ValueError("empty send")
+        if payload.size > _MAX_LEN:
+            raise ValueError("payload exceeds the 24-bit frame length")
+        seq = self._next_seq.get(dest, 0)
+        if seq + 1 >= _MAX_SEQ:
+            raise RuntimeError("sequence space exhausted")
+        self._next_seq[dest] = seq + 1
+        frame = _build_frame(_KIND_DATA, tag, seq, payload)
+        pend = _Pending(dest, seq, frame,
+                        self.engine.event(name=f"tx:{dest}:{seq}"),
+                        self.config.retry_timeout_s)
+        self._pending[(dest, seq)] = pend
+        self.stats.endpoint(dest).frames_sent += 1
+        if self._obs_on:
+            self._m_sent.inc()
+
+        yield from self.api._overhead()
+        self._transmit(pend)
+        yield from self.api._charge_tx(self.config.via, frame.size, False)
+        self._arm_timer(pend)
+        return pend.event
+
+    def send_batch(self, dest: int, words, tag: int = 0) -> Generator:
+        """Split a long payload into ``frame_words``-sized frames."""
+        payload = np.atleast_1d(np.asarray(words, dtype=np.uint64))
+        if payload.size == 0:
+            raise ValueError("empty send")
+        step = self.config.frame_words
+        events = []
+        for lo in range(0, payload.size, step):
+            ev = yield from self.send(dest, payload[lo:lo + step], tag=tag)
+            events.append(ev)
+        return events
+
+    def flush(self) -> Generator:
+        """Block until every outstanding frame is acknowledged.
+
+        Raises :class:`TransportError` if any frame ran out of retries —
+        including frames that already failed before flush was called.
+        """
+        if self._failed:
+            raise self._failed[0]
+        outstanding = [p.event for p in self._pending.values()]
+        if outstanding:
+            yield self.engine.all_of(outstanding)
+
+    @property
+    def in_flight(self) -> int:
+        """Frames sent but not yet acknowledged."""
+        return len(self._pending)
+
+    # -- receiving ---------------------------------------------------------
+    def recv_wait(self, timeout: Optional[float] = None) -> Generator:
+        """Wait until the inbox is non-empty (True) or ``timeout``
+        expires (False)."""
+        ev = self.engine.event(name="transport:recv")
+        if self._inbox:
+            ev.succeed(len(self._inbox))
+        else:
+            self._inbox_waiters.append(ev)
+        if timeout is None:
+            yield ev
+            return True
+        idx, _ = yield self.engine.any_of(
+            [ev, self.engine.timeout(timeout)])
+        return not (idx == 1 and not ev.triggered)
+
+    def take(self) -> List[Tuple[int, int, np.ndarray]]:
+        """Drain the inbox: ``(src, tag, payload_words)`` per frame, in
+        delivery order."""
+        out, self._inbox = self._inbox, []
+        return out
+
+    # -- internals ---------------------------------------------------------
+    def _transmit(self, pend: _Pending) -> None:
+        self.api.network.transmit(
+            self.rank, pend.dest, int(pend.frame.size),
+            payload=FifoPush(pend.frame),
+            inject_rate=self.api._inject_rate(self.config.via, False))
+
+    def _arm_timer(self, pend: _Pending) -> None:
+        timer = self.engine.timeout(pend.timeout)
+        timer.add_callback(lambda _ev, p=pend: self._on_timeout(p))
+
+    def _on_timeout(self, pend: _Pending) -> None:
+        if pend.acked:
+            return
+        if pend.attempts > self.config.max_retries:
+            self._pending.pop((pend.dest, pend.seq), None)
+            self.stats.endpoint(pend.dest).frames_failed += 1
+            err = TransportError(pend.dest, pend.seq, pend.attempts)
+            self._failed.append(err)
+            pend.event.fail(err)
+            return
+        # VIC-side retransmission from the retry buffer: no host PCIe
+        # charge, mirroring the hardware-generated query replies
+        pend.attempts += 1
+        pend.timeout = min(pend.timeout * self.config.backoff_factor,
+                           self.config.max_timeout_s)
+        self.stats.endpoint(pend.dest).retransmits += 1
+        if self._obs_on:
+            self._m_retx.inc()
+        self._transmit(pend)
+        self._arm_timer(pend)
+
+    def _pump(self) -> Generator:
+        """Background process draining the surprise FIFO into the inbox."""
+        fifo = self.api.vic.fifo
+        while True:
+            yield from self.api.fifo_wait()
+            for src, words in fifo.pop_with_sources():
+                self._on_frame(src, np.asarray(words, dtype=np.uint64))
+
+    def _on_frame(self, src: int, words: np.ndarray) -> None:
+        parsed = _parse_frame(words)
+        if parsed is None:
+            self.stats.endpoint(src).corrupt_dropped += 1
+            if self._obs_on:
+                self._m_corrupt.inc()
+            return
+        kind, tag, seq, payload = parsed
+        if kind == _KIND_ACK:
+            pend = self._pending.pop((src, seq), None)
+            if pend is not None and not pend.acked:
+                pend.acked = True
+                st = self.stats.endpoint(src)
+                st.frames_acked += 1
+                if self._obs_on:
+                    self._m_acked.inc()
+                    self._m_attempts.observe(pend.attempts)
+                pend.event.succeed(pend.attempts)
+            return
+        st = self.stats.endpoint(src)
+        seen = self._seen.setdefault(src, set())
+        if seq in seen:
+            st.duplicates += 1
+            if self._obs_on:
+                self._m_dup.inc()
+        else:
+            seen.add(seq)
+            st.frames_delivered += 1
+            st.words_delivered += int(payload.size)
+            if self._obs_on:
+                self._m_words.inc(int(payload.size))
+            self._inbox.append((src, tag, payload.copy()))
+            self._wake_inbox()
+        # ACK unconditionally (duplicates mean the original ACK was lost);
+        # generated by the VIC with no host time, like query replies
+        ack = _build_frame(_KIND_ACK, tag, seq)
+        self.api.network.transmit(self.rank, src, int(ack.size),
+                                  payload=FifoPush(ack))
+
+    def _wake_inbox(self) -> None:
+        waiters, self._inbox_waiters = self._inbox_waiters, []
+        for ev in waiters:
+            if not ev.triggered:
+                ev.succeed(len(self._inbox))

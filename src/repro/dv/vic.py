@@ -24,6 +24,7 @@ from repro.dv.counters import GroupCounters
 from repro.dv.dvmemory import DVMemory
 from repro.dv.fifo import SurpriseFIFO
 from repro.dv.pcie import PCIeBus
+from repro.faults import injector as fltreg
 from repro.obs import registry as obsreg
 from repro.sim.engine import Engine
 
@@ -121,6 +122,9 @@ class VIC:
         self.pcie = PCIeBus(engine, config, name=f"vic{vic_id}:pcie")
         self.packets_received = 0
         self.queries_served = 0
+        # node-outage windows are enforced here, at the receiving VIC:
+        # the whole controller goes dark for data during the window
+        self._faults = fltreg.site("dv.vic")
         # shared (unlabelled) handles: all VICs aggregate into one series
         self._obs_on = obsreg.enabled()
         if self._obs_on:
@@ -137,6 +141,10 @@ class VIC:
         self.packets_received += n_packets
         if self._obs_on:
             self._m_packets.inc(n_packets)
+        if (self._faults is not None
+                and isinstance(effect, (MemWrite, FifoPush))
+                and self._faults.node_down(self.vic_id, self.engine.now)):
+            return  # VIC dark for data during a node-outage window
         if isinstance(effect, MemWrite):
             self.memory.scatter(np.atleast_1d(effect.addrs),
                                 np.atleast_1d(effect.values))

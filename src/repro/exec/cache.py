@@ -10,16 +10,27 @@ parameter, or the repro package version changes.  Values must be
 JSON-serialisable; callers skip caching for points whose results are
 not (e.g. a result carrying a live tracer object).
 
+Parameter canonicalisation is strict: numpy scalars hash identically
+to the Python numbers they equal (``np.int64(8)`` and ``8`` name the
+same point — sweeps built from ``np.arange`` must warm-hit the cache
+on re-run), arrays and dataclasses get a stable structural form, and
+anything without a canonical form raises ``TypeError`` so the caller
+runs the point uncached instead of silently keying on a ``repr`` that
+can differ between processes.
+
 A corrupted or truncated entry behaves like a miss — the point is
 recomputed and the entry rewritten — never a crash.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import os
 from typing import Any, Dict, Mapping, Optional, Tuple
+
+import numpy as np
 
 from repro import __version__
 
@@ -28,10 +39,40 @@ __all__ = ["ResultCache", "cache_key"]
 _MISS = object()
 
 
+def _json_default(obj: Any) -> Any:
+    """Canonical JSON form for the non-JSON parameter types sweeps use.
+
+    numpy scalars reduce to their Python equivalents (bool before
+    integer: ``np.bool_`` subclasses ``np.generic`` only), arrays to
+    nested lists, dataclasses to a type-tagged field dict.  Everything
+    else raises ``TypeError``: an open file or tracer object has no
+    stable identity, and hashing its ``repr`` (the old fallback) made
+    the key depend on memory addresses — a guaranteed cold cache.
+    """
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {"__dataclass__": f"{type(obj).__module__}."
+                                 f"{type(obj).__qualname__}",
+                "fields": dataclasses.asdict(obj)}
+    raise TypeError(
+        f"cannot canonicalise {type(obj).__name__} for a cache key")
+
+
 def _canonical(obj: Any) -> str:
-    """Stable JSON text for hashing (sorted keys, repr fallback)."""
+    """Stable JSON text for hashing (sorted keys, strict defaults).
+
+    Raises ``TypeError`` for parameters with no canonical form; callers
+    treat that point as uncacheable rather than mis-keying it.
+    """
     return json.dumps(obj, sort_keys=True, separators=(",", ":"),
-                      default=repr)
+                      default=_json_default)
 
 
 def cache_key(runner_name: str, params: Mapping[str, Any],
@@ -75,12 +116,16 @@ class ResultCache:
 
     def put(self, key: str, value: Any,
             meta: Optional[Mapping[str, Any]] = None) -> bool:
-        """Store ``value``; returns False if it is not JSON-serialisable."""
+        """Store ``value``; returns False if it is not JSON-serialisable.
+
+        numpy scalars and arrays in the value are stored in their
+        canonical Python form (a runner returning ``np.float64`` rates
+        must still produce a warm-hittable entry)."""
         entry = {"key": key, "value": value}
         if meta:
             entry["meta"] = dict(meta)
         try:
-            text = json.dumps(entry)
+            text = json.dumps(entry, default=_json_default)
         except (TypeError, ValueError):
             return False
         path = self._path(key)

@@ -84,8 +84,19 @@ class Executor:
         self.chunksize = chunksize
         self._obs_hits = obsreg.counter("exec.cache.hits")
         self._obs_misses = obsreg.counter("exec.cache.misses")
+        self._obs_uncacheable = obsreg.counter("exec.cache.uncacheable")
         self._obs_points = obsreg.counter("exec.points")
         self._obs_seconds = obsreg.histogram("exec.point.seconds")
+
+    def _key_for(self, name: str, params: Mapping[str, Any]
+                 ) -> Optional[str]:
+        """Cache key, or None for a point with no canonical identity
+        (such a point runs uncached — never under a repr-derived key)."""
+        try:
+            return self.cache.key(name, params)
+        except TypeError:
+            self._obs_uncacheable.inc()
+            return None
 
     # -- grid execution --------------------------------------------------
     def map(self, runner: Callable[..., Mapping[str, Any]],
@@ -102,8 +113,11 @@ class Executor:
         out: List[Any] = [None] * len(points)
         missing: List[int] = []
         if self.cache is not None:
-            keys = [self.cache.key(name, p) for p in points]
+            keys = [self._key_for(name, p) for p in points]
             for i, key in enumerate(keys):
+                if key is None:
+                    missing.append(i)
+                    continue
                 hit, value = self.cache.get(key)
                 if hit:
                     out[i] = _decode_value(value)
@@ -122,7 +136,7 @@ class Executor:
                 out[i] = result
                 self._obs_points.inc()
                 self._obs_seconds.observe(dt)
-                if self.cache is not None:
+                if self.cache is not None and keys[i] is not None:
                     self.cache.put(keys[i], _encode_value(result),
                                    meta={"runner": name,
                                          "params": {k: repr(v) for k, v
@@ -137,17 +151,18 @@ class Executor:
         name = name or runner_name(fn)
         key = None
         if self.cache is not None:
-            key = self.cache.key(name, params)
-            hit, value = self.cache.get(key)
-            if hit:
-                self._obs_hits.inc()
-                return _decode_value(value)
-            self._obs_misses.inc()
+            key = self._key_for(name, params)
+            if key is not None:
+                hit, value = self.cache.get(key)
+                if hit:
+                    self._obs_hits.inc()
+                    return _decode_value(value)
+                self._obs_misses.inc()
         t0 = time.perf_counter()
         result = fn(**params)
         self._obs_points.inc()
         self._obs_seconds.observe(time.perf_counter() - t0)
-        if self.cache is not None:
+        if self.cache is not None and key is not None:
             self.cache.put(key, _encode_value(result),
                            meta={"runner": name})
         return result

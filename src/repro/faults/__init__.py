@@ -1,0 +1,29 @@
+"""Deterministic fault injection for the Data Vortex reproduction.
+
+Answers the *behavioural* half of the paper's §II reliability story
+(:mod:`repro.dv.reliability` answers the structural half): what do the
+benchmarks actually do when packets drop, DMA engines stall, or a VIC
+link flaps mid-run?
+
+Three pieces:
+
+* :class:`FaultPlan` — a frozen, seeded description of every fault a run
+  should suffer (probabilities, outage windows, stall magnitudes);
+* :mod:`repro.faults.injector` — named injection sites threaded through
+  the switch models, flow network, VIC, PCIe and IB fabric, resolved at
+  construction and free when no plan is installed;
+* :mod:`repro.faults.experiments` — degradation studies (GUPS/BFS
+  throughput vs. drop rate on both fabrics) built on the reliable
+  transport (:mod:`repro.dv.transport`) so runs *complete* under loss.
+
+See docs/faults.md for the model and protocol details.
+"""
+
+from repro.faults.injector import (FaultSite, active, clear, enabled,
+                                   install, session, site)
+from repro.faults.plan import FaultPlan, Outage
+
+__all__ = [
+    "FaultPlan", "FaultSite", "Outage",
+    "install", "clear", "active", "enabled", "site", "session",
+]

@@ -1,0 +1,109 @@
+"""The :class:`FaultPlan`: a seeded, declarative description of faults.
+
+A plan is pure data — probabilities, outage windows, and stall
+magnitudes — plus the seed every injection site derives its random
+stream from.  Installing the *same* plan (same seed) and running the
+*same* seeded simulation reproduces the exact same drops, corruptions,
+stalls and retries, because the discrete-event engine executes the
+injection sites in a deterministic order (see docs/faults.md).
+
+What each knob models (paper §II cites reliability analyses of the
+optical fabric — its refs [12], [13]; this is the behavioural
+counterpart of :mod:`repro.dv.reliability`'s structural analysis):
+
+* ``drop_prob`` / ``corrupt_prob`` — per-packet loss / payload bit
+  flips on the Data Vortex fabric.  Only *data-bearing* effects
+  (``MemWrite``/``FifoPush``) are degraded; tiny control packets
+  (counter decrements/sets, hardware queries) are modelled as protected
+  by link-level CRC retry so barriers and counters stay live.
+* ``link_outages`` / ``node_outages`` — ``(port, t_start, t_end)``
+  windows during which a VIC's switch link drops everything addressed
+  through it / the VIC itself discards arriving data.
+* ``switch_node_fail_prob`` — static switching-node failures inside the
+  cycle-accurate switch (the refs [12]/[13] scenario).
+* ``dma_stall_prob`` / ``dma_stall_s`` — per-transaction DMA-engine
+  stalls; ``pcie_delay_prob`` / ``pcie_delay_s`` — PIO delay spikes.
+* ``ib_drop_prob`` — per-message link-level CRC error probability on
+  the InfiniBand fat tree.  IB hardware retries transparently, so a
+  fault there inflates latency (``ib_retry_timeout_s`` per retry)
+  instead of losing the message.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Set, Tuple
+
+from repro.sim.rng import derive_seed
+
+__all__ = ["FaultPlan", "Outage"]
+
+#: An outage window: (port, t_start_s, t_end_s), end exclusive.
+Outage = Tuple[int, float, float]
+
+#: Hard cap on consecutive IB link-level retries of one message (a real
+#: HCA gives up and reports a fatal error long before this).
+IB_MAX_RETRIES = 16
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic description of every fault a run should suffer."""
+
+    seed: int = 0
+    # -- Data Vortex fabric ------------------------------------------------
+    drop_prob: float = 0.0
+    corrupt_prob: float = 0.0
+    link_outages: Tuple[Outage, ...] = field(default_factory=tuple)
+    node_outages: Tuple[Outage, ...] = field(default_factory=tuple)
+    switch_node_fail_prob: float = 0.0
+    # -- PCIe / DMA --------------------------------------------------------
+    dma_stall_prob: float = 0.0
+    dma_stall_s: float = 2e-6
+    pcie_delay_prob: float = 0.0
+    pcie_delay_s: float = 5e-6
+    # -- InfiniBand --------------------------------------------------------
+    ib_drop_prob: float = 0.0
+    ib_retry_timeout_s: float = 2e-6
+
+    def __post_init__(self) -> None:
+        for name in ("drop_prob", "corrupt_prob", "switch_node_fail_prob",
+                     "dma_stall_prob", "pcie_delay_prob", "ib_drop_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p!r}")
+        for name in ("dma_stall_s", "pcie_delay_s", "ib_retry_timeout_s"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        for name in ("link_outages", "node_outages"):
+            # normalise lists to tuples so plans stay hashable/frozen
+            object.__setattr__(self, name,
+                               tuple(tuple(w) for w in getattr(self, name)))
+            for port, t0, t1 in getattr(self, name):
+                if t1 < t0:
+                    raise ValueError(
+                        f"{name} window ({port}, {t0}, {t1}) ends "
+                        "before it starts")
+
+    # -- derived fault sets ------------------------------------------------
+    def switch_failures(self, topo, trial: int = 0) -> Set[tuple]:
+        """Failed switching-node coordinates for one Monte-Carlo trial.
+
+        Pure function of (plan seed, topology, trial): the cycle switch
+        and :func:`repro.dv.reliability.routed_delivery_rate` sample the
+        *same* failure set for the same plan, which is what lets the
+        behavioural and structural analyses be compared point-for-point.
+        """
+        p = self.switch_node_fail_prob
+        if p <= 0.0:
+            return set()
+        rng = random.Random(derive_seed(self.seed, "faults", "dv.switch",
+                                        trial))
+        return {coord for coord in topo.iter_nodes() if rng.random() < p}
+
+    @property
+    def any_dv_packet_faults(self) -> bool:
+        """True if DV packets can be dropped or corrupted at all."""
+        return (self.drop_prob > 0.0 or self.corrupt_prob > 0.0
+                or bool(self.link_outages))

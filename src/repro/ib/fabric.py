@@ -19,6 +19,7 @@ import hashlib
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.faults import injector as fltreg
 from repro.ib.config import IBConfig
 from repro.obs import registry as obsreg
 from repro.sim.engine import Engine
@@ -59,6 +60,9 @@ class IBFabric:
         self._free: Dict[Tuple, float] = {}
         self._receivers: List[Optional[Receiver]] = [None] * n_nodes
         self.stats = FabricStats()
+        # IB loses no messages: link-level CRC errors are retried by the
+        # HCA, so a FaultPlan shows up as latency, not loss
+        self._faults = fltreg.site("ib.fabric")
         self._obs_on = obsreg.enabled()
         if self._obs_on:
             self._m_messages = obsreg.counter("ib.fabric.messages")
@@ -115,6 +119,16 @@ class IBFabric:
         path = self._path(src, dst)
         occupancy = max(nbytes / cfg.effective_bw, cfg.msg_gap_s)
 
+        retry_lat = 0.0
+        fs = self._faults
+        if fs is not None:
+            k = fs.ib_retries()
+            if k:
+                # each retry re-serialises the message on its channels
+                # and waits out the HCA's retransmission timeout
+                occupancy *= (k + 1)
+                retry_lat = k * fs.plan.ib_retry_timeout_s
+
         start = now
         for ch in path:
             start = max(start, self._free.get(ch, 0.0))
@@ -122,7 +136,7 @@ class IBFabric:
         for ch in path:
             self._free[ch] = start + occupancy
 
-        arrival = (start + occupancy + cfg.wire_latency_s
+        arrival = (start + occupancy + retry_lat + cfg.wire_latency_s
                    + self.hops(src, dst) * cfg.hop_latency_s)
 
         self.stats.messages += 1

@@ -187,3 +187,28 @@ def test_flow_stats_accumulate():
     eng.run()
     assert net.stats.packets_sent == 12
     assert net.stats.transfers == 2
+
+
+def test_load_matches_bruteforce_port_scan():
+    """``_load`` is maintained incrementally (expiry heap + busy count);
+    it must equal the O(ports) rescan it replaced at every observation
+    time, including after every reservation has expired."""
+    import random
+    eng, net = flow_net(16)
+    rng = random.Random(42)
+
+    def brute(now):
+        return sum(1 for t in net._inject_free if t > now) / net.n_ports
+
+    def prog(eng):
+        for _ in range(200):
+            if rng.random() < 0.6:
+                net.transmit(rng.randrange(16), rng.randrange(16),
+                             rng.randrange(1, 40))
+            assert net._load(eng.now) == brute(eng.now)
+            yield eng.timeout(rng.uniform(0.1, 5.0)
+                              * net.config.hop_time_s)
+        yield eng.timeout(1.0)              # drain: everything expires
+        assert net._load(eng.now) == brute(eng.now) == 0.0
+
+    eng.run_process(prog(eng))

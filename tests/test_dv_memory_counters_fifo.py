@@ -253,3 +253,37 @@ def test_property_fifo_preserves_order_and_content(batches):
         f.push(np.array(b, np.uint64))
         flat.extend(b)
     assert f.pop().tolist() == flat
+
+
+# --------------------------------------------- lossy partial accepts ---
+
+def test_fifo_partial_accept_audit():
+    """Overflow in drop mode: the accepted prefix is queued under the
+    right source tag, ``total_pushed`` counts accepted words only, and
+    ``dropped`` matches the obs ``dv.fifo.words_dropped`` counter."""
+    from repro import obs
+    with obs.session() as reg:
+        f = SurpriseFIFO(Engine(), capacity=5, strict=False)
+        assert f.push(np.array([1, 2, 3], np.uint64), src=4) == 3
+        # 4 words arrive from src 9 with only 2 free
+        assert f.push(np.array([10, 11, 12, 13], np.uint64), src=9) == 2
+        assert f.dropped == 2
+        assert f.total_pushed == 5            # accepted words only
+        assert len(f) == 5
+        # a full FIFO accepts nothing and appends no empty segment
+        assert f.push(np.array([99], np.uint64), src=1) == 0
+        assert f.total_pushed == 5
+        batches = [(s, v.tolist()) for s, v in f.pop_with_sources()]
+        assert batches == [(4, [1, 2, 3]), (9, [10, 11])]
+        assert reg.value("dv.fifo.words_dropped") == f.dropped == 3
+        assert reg.value("dv.fifo.words_pushed") == 5
+
+
+def test_fifo_partial_accept_does_not_alias_caller_buffer():
+    """The accepted prefix must be copied: a sender reusing its buffer
+    after a partial accept must not rewrite words already queued."""
+    f = SurpriseFIFO(Engine(), capacity=2, strict=False)
+    buf = np.array([7, 8, 9], np.uint64)
+    assert f.push(buf, src=0) == 2
+    buf[:] = 0                                # sender recycles its buffer
+    assert f.pop().tolist() == [7, 8]

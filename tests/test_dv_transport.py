@@ -1,0 +1,187 @@
+"""Reliable transport over the surprise FIFO (repro.dv.transport)."""
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.core.cluster import ClusterSpec, run_spmd
+from repro.dv.transport import (ReliableTransport, TransportConfig,
+                                TransportError, _KIND_ACK, _KIND_DATA,
+                                _build_frame, _parse_frame)
+from repro.faults import FaultPlan
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    yield
+    faults.injector.clear()
+
+
+# ---------------------------------------------------------- framing ------
+
+def test_frame_roundtrip():
+    payload = np.arange(5, dtype=np.uint64)
+    frame = _build_frame(_KIND_DATA, tag=3, seq=42, payload=payload)
+    assert frame.size == payload.size + 2
+    kind, tag, seq, got = _parse_frame(frame)
+    assert (kind, tag, seq) == (_KIND_DATA, 3, 42)
+    assert np.array_equal(got, payload)
+
+
+def test_ack_frame_roundtrip():
+    frame = _build_frame(_KIND_ACK, tag=0, seq=7)
+    assert frame.size == 2
+    kind, tag, seq, payload = _parse_frame(frame)
+    assert (kind, seq) == (_KIND_ACK, 7)
+    assert payload.size == 0
+
+
+def test_parse_rejects_corruption():
+    payload = np.arange(4, dtype=np.uint64)
+    frame = _build_frame(_KIND_DATA, tag=0, seq=1, payload=payload)
+    # single flipped payload bit -> CRC mismatch
+    bad = frame.copy()
+    bad[2] ^= np.uint64(1 << 17)
+    assert _parse_frame(bad) is None
+    # flipped header magic
+    bad = frame.copy()
+    bad[0] ^= np.uint64(1) << np.uint64(60)
+    assert _parse_frame(bad) is None
+    # truncation (lost trailing words -> length mismatch)
+    assert _parse_frame(frame[:-2]) is None
+    assert _parse_frame(frame[:1]) is None
+    # untouched frame still parses
+    assert _parse_frame(frame) is not None
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        TransportConfig(max_retries=0)
+    with pytest.raises(ValueError):
+        TransportConfig(frame_words=0)
+    with pytest.raises(ValueError):
+        TransportConfig(backoff_factor=0.5)
+    with pytest.raises(ValueError):
+        TransportConfig(via="bogus")
+
+
+# --------------------------------------------------- delivery under loss -
+
+def _ring_program(n_words=20, frame_words=2, max_retries=64, tag=1):
+    """Every rank sends a distinct payload to its right neighbour."""
+    def program(ctx):
+        tr = ReliableTransport(ctx.dv, TransportConfig(
+            frame_words=frame_words, max_retries=max_retries))
+        tr.start()
+        peer = (ctx.rank + 1) % ctx.size
+        yield from ctx.barrier()
+        payload = np.arange(n_words, dtype=np.uint64) + ctx.rank * 1000
+        yield from tr.send_batch(peer, payload, tag=tag)
+        yield from tr.flush()
+        yield from ctx.barrier()
+        got = tr.take()
+        words = (np.concatenate([w for _, _, w in got])
+                 if got else np.empty(0, np.uint64))
+        srcs = {s for s, _, _ in got}
+        tags = {t for _, t, _ in got}
+        src = (ctx.rank - 1) % ctx.size
+        expect = np.arange(n_words, dtype=np.uint64) + src * 1000
+        return {"exact": np.array_equal(np.sort(words), expect),
+                "srcs": srcs, "tags": tags,
+                "retx": tr.stats.retransmits,
+                "dups": tr.stats.duplicates,
+                "corrupt": tr.stats.corrupt_dropped,
+                "delivered": tr.stats.words_delivered}
+    return program
+
+
+def test_clean_network_exact_delivery():
+    res = run_spmd(ClusterSpec(n_nodes=4, seed=1),
+                   _ring_program(frame_words=8), "dv")
+    for rank, v in enumerate(res.values):
+        assert v["exact"]
+        assert v["srcs"] == {(rank - 1) % 4}
+        assert v["tags"] == {1}
+        assert v["retx"] == 0 and v["dups"] == 0
+
+
+@pytest.mark.parametrize("drop,corrupt", [(0.2, 0.0), (0.0, 0.3),
+                                          (0.25, 0.05)])
+def test_exactly_once_under_loss_and_corruption(drop, corrupt):
+    plan = FaultPlan(seed=5, drop_prob=drop, corrupt_prob=corrupt)
+    with faults.session(plan):
+        res = run_spmd(ClusterSpec(n_nodes=4, seed=1),
+                       _ring_program(), "dv")
+    assert all(v["exact"] for v in res.values)
+    assert sum(v["retx"] + v["corrupt"] for v in res.values) > 0
+    # exactly-once even when duplicates arrived
+    assert all(v["delivered"] == 20 for v in res.values)
+
+
+def test_seeded_runs_reproduce_identical_stats():
+    def one():
+        with faults.session(FaultPlan(seed=5, drop_prob=0.25,
+                                      corrupt_prob=0.05)):
+            res = run_spmd(ClusterSpec(n_nodes=4, seed=1),
+                           _ring_program(), "dv")
+        return [(v["retx"], v["dups"], v["corrupt"])
+                for v in res.values]
+
+    assert one() == one()
+
+
+def test_flush_raises_after_retry_budget_exhausted():
+    def program(ctx):
+        tr = ReliableTransport(ctx.dv, TransportConfig(
+            frame_words=8, max_retries=2))
+        tr.start()
+        yield from ctx.barrier()
+        if ctx.rank == 0:
+            yield from tr.send(1, np.arange(32, dtype=np.uint64))
+            try:
+                yield from tr.flush()
+            except TransportError as err:
+                return {"failed": True, "attempts": err.attempts,
+                        "dest": err.dest}
+            return {"failed": False}
+        yield ctx.engine.timeout(5e-3)
+        return {"failed": False}
+
+    # 60% loss on a 34-word frame: no chance within 2 retries
+    with faults.session(FaultPlan(seed=3, drop_prob=0.6)):
+        res = run_spmd(ClusterSpec(n_nodes=2, seed=1), program, "dv")
+    assert res.values[0]["failed"]
+    assert res.values[0]["attempts"] == 3   # 1 try + 2 retries
+    assert res.values[0]["dest"] == 1
+
+
+def test_send_validates_inputs():
+    def program(ctx):
+        tr = ReliableTransport(ctx.dv)
+        tr.start()
+        with pytest.raises(ValueError):
+            yield from tr.send(1, np.empty(0, np.uint64))
+        with pytest.raises(ValueError):
+            yield from tr.send(1, np.arange(2, dtype=np.uint64), tag=16)
+        return True
+
+    res = run_spmd(ClusterSpec(n_nodes=2, seed=1), program, "dv")
+    assert res.values[0] is True
+
+
+def test_transport_stats_aggregate_per_endpoint():
+    def program(ctx):
+        tr = ReliableTransport(ctx.dv, TransportConfig(frame_words=4))
+        tr.start()
+        yield from ctx.barrier()
+        if ctx.rank == 0:
+            for dest in (1, 2):
+                yield from tr.send_batch(
+                    dest, np.arange(8, dtype=np.uint64))
+            yield from tr.flush()
+        yield from ctx.barrier()
+        return {d: ep.frames_acked
+                for d, ep in tr.stats.endpoints.items()}
+
+    res = run_spmd(ClusterSpec(n_nodes=3, seed=1), program, "dv")
+    assert res.values[0] == {1: 2, 2: 2}

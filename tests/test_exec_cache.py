@@ -162,3 +162,74 @@ def test_obs_counters_record_cache_traffic(tmp_path):
         sw.run(Executor(cache_dir=str(tmp_path)))
         assert reg.value("exec.cache.misses") == 2
         assert reg.value("exec.cache.hits") == 2
+
+
+# ------------------------------------------- canonical parameter types ---
+
+def test_numpy_params_key_like_python_scalars():
+    """np.int64(8) and 8 name the same point (sweeps built from
+    np.arange must warm-hit on re-run)."""
+    import numpy as np
+    assert (cache_key("r", {"n": np.int64(8), "x": np.float64(0.5)})
+            == cache_key("r", {"n": 8, "x": 0.5}))
+    assert (cache_key("r", {"flag": np.bool_(True)})
+            == cache_key("r", {"flag": True}))
+    assert (cache_key("r", {"v": np.array([1, 2, 3])})
+            == cache_key("r", {"v": [1, 2, 3]}))
+
+
+def test_dataclass_params_have_stable_keys():
+    from repro.faults import FaultPlan
+    a = cache_key("r", {"plan": FaultPlan(seed=3, drop_prob=0.1)})
+    b = cache_key("r", {"plan": FaultPlan(seed=3, drop_prob=0.1)})
+    c = cache_key("r", {"plan": FaultPlan(seed=4, drop_prob=0.1)})
+    assert a == b and a != c
+
+
+def test_unhashable_param_raises_typeerror():
+    import pytest
+    with pytest.raises(TypeError):
+        cache_key("r", {"fh": open(os.devnull)})
+
+
+def test_numpy_point_warm_hits_cache(tmp_path):
+    """Regression: the old default=repr keyed np.int64 params on their
+    repr, so a sweep over np.arange never warm-hit."""
+    import numpy as np
+    calls = []
+
+    def runner(a, x):
+        calls.append((a, x))
+        return {"sq": a * a, "x": np.float64(x)}
+
+    points = [{"a": np.int64(3), "x": np.float64(0.5)}]
+    ex1 = Executor(cache_dir=str(tmp_path / "cache"))
+    out1 = ex1.map(runner, points, name="np-point")
+    ex2 = Executor(cache_dir=str(tmp_path / "cache"))
+    # warm run keys with the plain-python equivalents: must hit
+    out2 = ex2.map(runner, [{"a": 3, "x": 0.5}], name="np-point")
+    assert out1 == out2 == [{"sq": 9, "x": 0.5}]
+    assert len(calls) == 1
+    assert ex2.cache.hits == 1
+
+
+def test_uncacheable_point_still_runs(tmp_path):
+    """A point whose params cannot be canonicalised executes uncached
+    (every run recomputes it) instead of crashing or mis-keying."""
+    class Opaque:
+        pass
+
+    calls = []
+    ex = Executor(cache_dir=str(tmp_path / "cache"))
+    point = {"a": 2, "_opaque": Opaque()}
+
+    def runner(a, _opaque=None):
+        calls.append(a)
+        return {"sq": a * a}
+
+    assert ex.map(runner, [point], name="opaque") == [{"sq": 4}]
+    assert ex.map(runner, [point], name="opaque") == [{"sq": 4}]
+    assert calls == [2, 2]                     # ran both times
+    assert ex.cache.entries() == 0             # nothing was stored
+    assert ex.call(lambda _opaque=None: {"v": 1},
+                   name="opaque-call", _opaque=Opaque()) == {"v": 1}

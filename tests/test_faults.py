@@ -1,0 +1,224 @@
+"""Deterministic fault-injection subsystem (repro.faults)."""
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.core.cluster import ClusterSpec, run_spmd
+from repro.dv.reliability import routed_delivery_rate, terminal_reliability
+from repro.dv.switch import CycleSwitch
+from repro.dv.topology import DataVortexTopology
+from repro.faults import FaultPlan, FaultSite
+from repro.faults.injector import active, clear, enabled, install, site
+from repro.kernels import run_gups
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    yield
+    clear()
+
+
+# ------------------------------------------------------------ plan ------
+
+def test_plan_validates_probabilities():
+    for field in ("drop_prob", "corrupt_prob", "switch_node_fail_prob",
+                  "dma_stall_prob", "pcie_delay_prob", "ib_drop_prob"):
+        with pytest.raises(ValueError):
+            FaultPlan(**{field: 1.5})
+        with pytest.raises(ValueError):
+            FaultPlan(**{field: -0.1})
+
+
+def test_plan_validates_outages_and_times():
+    with pytest.raises(ValueError):
+        FaultPlan(node_outages=((0, 2.0, 1.0),))   # t1 < t0
+    with pytest.raises(ValueError):
+        FaultPlan(dma_stall_s=-1.0)
+    plan = FaultPlan(link_outages=[(3, 0.5, 1.5)])
+    assert plan.link_outages == ((3, 0.5, 1.5),)
+
+
+def test_install_requires_plan_type():
+    with pytest.raises(TypeError):
+        install({"drop_prob": 0.5})
+
+
+def test_session_scopes_and_restores():
+    outer = FaultPlan(drop_prob=0.1)
+    install(outer)
+    with faults.session(FaultPlan(drop_prob=0.2)) as plan:
+        assert active() is plan
+    assert active() is outer
+    with faults.session(None):
+        assert not enabled()
+    assert active() is outer
+
+
+def test_site_is_none_without_plan():
+    clear()
+    assert site("dv.flow") is None
+    install(FaultPlan(drop_prob=0.5))
+    assert isinstance(site("dv.flow"), FaultSite)
+
+
+# ------------------------------------------------- site determinism ------
+
+def test_site_rng_deterministic_per_name():
+    def masks(name):
+        install(FaultPlan(seed=11, drop_prob=0.3))
+        s = site(name)
+        return [s.keep_mask(32).tolist() for _ in range(4)]
+
+    assert masks("dv.flow") == masks("dv.flow")
+    assert masks("dv.flow") != masks("dv.fastswitch")
+
+
+def test_zero_probability_paths_draw_no_rng():
+    install(FaultPlan(seed=3))   # all probabilities zero
+    s = site("dv.flow")
+    state0 = s._rng.bit_generator.state
+    assert s.keep_mask(64) is None
+    assert s.corrupt_values(np.arange(8, dtype=np.uint64)) is None
+    assert s.dma_stall_s() == 0.0
+    assert s.pcie_delay_s() == 0.0
+    assert s.drop() is False
+    assert s.ib_retries() == 0
+    assert s._rng.bit_generator.state == state0
+
+
+def test_corrupt_values_flips_single_bits():
+    install(FaultPlan(seed=4, corrupt_prob=1.0))
+    s = site("dv.flow")
+    orig = np.arange(64, dtype=np.uint64)
+    got = s.corrupt_values(orig)
+    assert got is not orig
+    flips = np.bitwise_xor(got, orig)
+    assert np.all(flips > 0)
+    # exactly one bit per corrupted word
+    assert all(bin(int(f)).count("1") == 1 for f in flips)
+
+
+def test_outage_windows_end_exclusive():
+    install(FaultPlan(node_outages=((2, 1.0, 2.0),),
+                      link_outages=((5, 0.0, 0.5),)))
+    s = site("dv.vic")
+    assert s.has_outages
+    assert not s.node_down(2, 0.5)
+    assert s.node_down(2, 1.0)
+    assert s.node_down(2, 1.999)
+    assert not s.node_down(2, 2.0)
+    assert not s.node_down(3, 1.5)
+    assert s.link_down(5, 0.25)
+    assert not s.link_down(5, 0.5)
+
+
+# ------------------------------------------- zero-cost / bit-identity ----
+
+def test_disabled_faults_bit_identical_gups():
+    spec = ClusterSpec(n_nodes=4, seed=5)
+    clear()
+    base = run_gups(spec, "dv", table_words=1 << 10, validate=True)
+    with faults.session(FaultPlan(seed=9)):   # installed but all-zero
+        zero = run_gups(spec, "dv", table_words=1 << 10, validate=True)
+    assert base["valid"] and zero["valid"]
+    assert zero["elapsed_s"] == base["elapsed_s"]
+    assert zero["mups_total"] == base["mups_total"]
+
+
+def test_seeded_plan_reproduces_identical_runs():
+    def one_run():
+        with faults.session(FaultPlan(seed=13, drop_prob=0.1,
+                                      corrupt_prob=0.02)):
+            spec = ClusterSpec(n_nodes=2, seed=1)
+
+            def program(ctx):
+                api = ctx.dv
+                yield from ctx.barrier()
+                if ctx.rank == 0:
+                    yield from api.send_words(
+                        1, np.arange(64), np.arange(64, dtype=np.uint64))
+                yield ctx.engine.timeout(1e-3)
+                return ctx.dv.vic.memory.read_range(0, 64).tolist()
+
+            return run_spmd(spec, program, "dv").values[1]
+
+    assert one_run() == one_run()
+
+
+# -------------------------------------------------- node outage drops ----
+
+def test_node_outage_blacks_out_data_delivery():
+    def landed(plan):
+        with faults.session(plan):
+            spec = ClusterSpec(n_nodes=2, seed=1)
+
+            def program(ctx):
+                api = ctx.dv
+                yield from ctx.barrier()
+                if ctx.rank == 0:
+                    yield from api.send_words(
+                        1, np.arange(16),
+                        np.full(16, 7, np.uint64))
+                yield ctx.engine.timeout(1e-3)
+                return int(ctx.dv.vic.memory.read_range(0, 16).sum())
+
+            return run_spmd(spec, program, "dv").values[1]
+
+    assert landed(None) == 16 * 7
+    down = FaultPlan(node_outages=((1, 0.0, 10.0),))
+    assert landed(down) == 0
+    # outage window that ends before the run's traffic: all delivered
+    past = FaultPlan(node_outages=((1, 0.0, 1e-12),))
+    assert landed(past) == 16 * 7
+
+
+# ---------------------------------------------- switch node failures -----
+
+def test_switch_failures_seeded_and_deterministic():
+    topo = DataVortexTopology(height=8, angles=2)
+    plan = FaultPlan(seed=21, switch_node_fail_prob=0.05)
+    a = plan.switch_failures(topo)
+    b = plan.switch_failures(topo)
+    assert a == b and len(a) > 0
+    assert plan.switch_failures(topo, trial=1) != a
+    for coord in a:
+        assert (0 <= coord[0] < topo.cylinders
+                and 0 <= coord[1] < topo.height
+                and 0 <= coord[2] < topo.angles)
+
+
+def test_installed_plan_fails_switch_nodes():
+    topo = DataVortexTopology(height=8, angles=2)
+    plan = FaultPlan(seed=21, switch_node_fail_prob=0.05)
+    with faults.session(plan):
+        sw = CycleSwitch(topo)
+    assert sw.failed_nodes == plan.switch_failures(topo)
+    assert sw.ttl_hops is not None
+    clear()
+    assert CycleSwitch(topo).failed_nodes == set()
+
+
+# --------------------------------- routed vs. terminal reliability -------
+
+@pytest.mark.parametrize("height,angles", [(4, 2), (8, 2), (8, 4)])
+def test_routed_delivery_bounded_by_terminal_reliability(height, angles):
+    """Oblivious deflection routing cannot beat the graph-level
+    survival probability (§II refs [12], [13]): under the same seeded
+    FaultPlan failures, delivered fraction <= terminal reliability
+    plus Monte-Carlo tolerance."""
+    topo = DataVortexTopology(height=height, angles=angles)
+    p = 0.04
+    plan = FaultPlan(seed=17, switch_node_fail_prob=p)
+    routed = routed_delivery_rate(topo, trials=12,
+                                  packets_per_trial=32, plan=plan)
+    graph = terminal_reliability(topo, p, trials=120, seed=17)
+    assert 0.0 <= routed <= 1.0
+    assert routed <= graph + 0.15   # MC noise tolerance
+    assert graph < 1.0 or routed <= 1.0
+
+
+def test_routed_delivery_requires_pfail_or_plan():
+    topo = DataVortexTopology(height=4, angles=2)
+    with pytest.raises(ValueError):
+        routed_delivery_rate(topo)
