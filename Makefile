@@ -4,16 +4,46 @@
 
 PYTHON  ?= python
 PYTEST   = PYTHONPATH=src $(PYTHON) -m pytest
+REPRO    = PYTHONPATH=src $(PYTHON) -m repro.cli
 
-.PHONY: test test-all test-exec test-faults bench obs help
+# The files `ruff format --check` gates (formatting is adopted
+# incrementally, starting with the golden subsystem); keep in sync
+# with .github/workflows/ci.yml.
+FORMATTED = src/repro/golden tests/test_golden_store.py \
+            tests/test_golden_policy.py tests/test_golden_harness.py \
+            tests/test_golden_drift.py tests/test_cli_smoke.py
+
+.PHONY: test test-all test-exec test-faults bench obs help \
+        lint verify golden-record ci
 
 help:
-	@echo "make test        - fast test suite (excludes tests marked 'slow')"
-	@echo "make test-all    - full test suite, slow overhead guards included"
-	@echo "make test-exec   - executor/cache test suite only"
-	@echo "make test-faults - fault-injection + reliable-transport suite only"
-	@echo "make bench       - perf regression benchmarks; updates BENCH_exec.json"
-	@echo "make obs         - example unified observability report (JSON)"
+	@echo "make ci            - what CI runs: lint -> tier-1 tests -> golden gate"
+	@echo "make lint          - ruff check + format --check (skips if ruff missing)"
+	@echo "make test          - fast test suite (excludes tests marked 'slow')"
+	@echo "make test-all      - full test suite, slow overhead guards included"
+	@echo "make test-exec     - executor/cache test suite only"
+	@echo "make test-faults   - fault-injection + reliable-transport suite only"
+	@echo "make verify        - golden compare + 4-axis determinism harness"
+	@echo "make golden-record - refresh goldens/ after an intentional figure change"
+	@echo "make bench         - perf regression benchmarks; updates BENCH_exec.json"
+	@echo "make obs           - example unified observability report (JSON)"
+
+# Mirrors .github/workflows/ci.yml step for step (lint job, test job,
+# golden-gate job) so local runs and CI cannot diverge.
+ci: lint test verify
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check . && ruff format --check $(FORMATTED); \
+	else \
+		echo "lint: ruff not installed; skipping (CI runs it)"; \
+	fi
+
+verify:
+	$(REPRO) verify --compare
+
+golden-record:
+	$(REPRO) verify --record
 
 test:
 	$(PYTEST) -x -q -m "not slow"

@@ -18,7 +18,6 @@ Measured:
 import json
 import pathlib
 import platform
-import statistics
 import time
 
 import pytest

@@ -21,7 +21,7 @@ machinery.  Each pipe consumes four group counters and
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional, Sequence
+from typing import Generator, Optional, Sequence
 
 import numpy as np
 

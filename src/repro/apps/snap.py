@@ -28,7 +28,7 @@ same mesh exactly, and the scalar flux is physically non-negative.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List
+from typing import Dict, Generator
 
 import numpy as np
 

@@ -20,7 +20,7 @@ full mesh exactly, for every octant.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional, Tuple
+from typing import Dict, Generator, List, Tuple
 
 import numpy as np
 

@@ -35,7 +35,7 @@ conserved over the run (inviscid invariants).
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Tuple
+from typing import Dict, Generator, Tuple
 
 import numpy as np
 

@@ -12,6 +12,8 @@ Usage::
     python -m repro.cli sweep --name gups --nodes 4,8,16
     python -m repro.cli cache --cache .repro-cache   # stats / --clear
     python -m repro.cli faults --drops 0,0.02,0.05 --workloads gups
+    python -m repro.cli verify --compare             # golden gate (CI)
+    python -m repro.cli verify --record              # refresh goldens
     python -m repro.cli list
 
 Each subcommand prints the figure's data as an aligned table (the same
@@ -221,6 +223,72 @@ def cmd_faults(args) -> Table:
                              nodes=min(args.nodes), seed=args.seed)
 
 
+def cmd_verify(args) -> int:
+    """Golden-results gate: record or compare figure snapshots, run the
+    four-axis determinism harness, and track flow-vs-cycle calibration
+    drift.  See docs/ci.md for the workflow."""
+    from repro.golden import (AXES, GOLDEN_CONFIGS, GoldenStore,
+                              append_record, compare_goldens,
+                              drift_record, load_series, record_goldens,
+                              run_harness)
+    if args.record and args.compare:
+        print("verify: --record and --compare are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    store = GoldenStore(args.goldens)
+    figs = args.figs or sorted(GOLDEN_CONFIGS)
+    unknown = [f for f in figs if f not in GOLDEN_CONFIGS]
+    if unknown:
+        print(f"verify: no golden config for {', '.join(unknown)}; "
+              f"known: {', '.join(sorted(GOLDEN_CONFIGS))}",
+              file=sys.stderr)
+        return 2
+    executor = _executor(args)
+
+    if args.record:
+        paths = record_goldens(store, figs, executor)
+        for fig, path in sorted(paths.items()):
+            print(f"recorded {fig}: {path}")
+        drift_path = append_record(store.root, drift_record())
+        print(f"appended drift record: {drift_path} "
+              f"({len(load_series(store.root))} entries)")
+        return 0
+
+    failed = False
+    print(f"== golden compare ({store.root}) ==")
+    for report in compare_goldens(store, figs, executor):
+        print(report.describe())
+        failed |= not report.ok
+
+    axes = [] if args.axes == ["none"] else \
+        (list(AXES) if args.axes in (None, ["all"]) else args.axes)
+    bad_axes = [a for a in axes if a not in AXES]
+    if bad_axes:
+        print(f"verify: unknown axes {', '.join(bad_axes)}; "
+              f"known: {', '.join(AXES)} (or 'none')", file=sys.stderr)
+        return 2
+    if axes:
+        print(f"== determinism harness (axes: {', '.join(axes)}) ==")
+        for report in run_harness(figs, axes):
+            print(report.describe())
+            failed |= not report.ok
+
+    series = load_series(store.root)
+    if series:
+        from repro.golden import measure_scenarios
+        last = series[-1]["scenarios"]
+        print("== calibration drift (flow vs cycle, rel_err) ==")
+        for name, cur in measure_scenarios().items():
+            prev = last.get(name, {}).get("rel_err")
+            delta = ("" if prev is None else
+                     f"  (recorded {prev:+.4f}, "
+                     f"moved {cur['rel_err'] - prev:+.2e})")
+            print(f"{name}: {cur['rel_err']:+.4f}{delta}")
+
+    print("verify: FAILED" if failed else "verify: ok")
+    return 1 if failed else 0
+
+
 def cmd_cache(args):
     from repro.exec import ResultCache
     if not args.cache:
@@ -251,14 +319,18 @@ COMMANDS = {
     "cache": cmd_cache,
     "obs": cmd_obs,
     "faults": cmd_faults,
+    "verify": cmd_verify,
 }
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
     p = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate figures from 'Exploring DataVortex "
                     "Systems for Irregular Applications'")
+    p.add_argument("--version", action="version",
+                   version=f"repro {__version__}")
     p.add_argument("command", choices=[*COMMANDS, "list"],
                    help="figure to regenerate (or 'list')")
     p.add_argument("--nodes", type=_nodes_list, default=[4, 8, 16, 32],
@@ -300,6 +372,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--clear", action="store_true",
                    help="cache: delete all entries instead of printing "
                         "stats")
+    p.add_argument("--record", action="store_true",
+                   help="verify: record golden snapshots (and append a "
+                        "calibration-drift record) instead of comparing")
+    p.add_argument("--compare", action="store_true",
+                   help="verify: compare against recorded goldens "
+                        "(the default mode)")
+    p.add_argument("--goldens", default="goldens", metavar="DIR",
+                   help="verify: golden-snapshot directory "
+                        "(default ./goldens)")
+    p.add_argument("--axes",
+                   type=lambda s: [x for x in s.split(",") if x],
+                   default=None,
+                   help="verify: determinism axes to check "
+                        "(comma list of workers,cache,obs,faults; "
+                        "'all' = every axis, 'none' = skip)")
     p.add_argument("--csv", action="store_true",
                    help="emit CSV instead of an aligned table")
     p.add_argument("--plot", action="store_true",
@@ -314,6 +401,8 @@ def main(argv=None) -> int:
             print(name)
         return 0
     result = COMMANDS[args.command](args)
+    if isinstance(result, int):   # e.g. 'verify' returns an exit code
+        return result
     if isinstance(result, str):   # e.g. 'obs' emits a report document
         if result:
             print(result)

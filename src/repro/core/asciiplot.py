@@ -9,7 +9,7 @@ powers of two) and a legend.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 _GLYPHS = "ox+*#@%&"
 

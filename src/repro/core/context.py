@@ -15,7 +15,7 @@ gives access to:
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+from typing import Generator
 
 import numpy as np
 

@@ -8,7 +8,7 @@ diffed, plotted, or pasted into EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence
+from typing import Any, Dict, Iterator, List, Mapping, Sequence, Tuple
 
 
 class Table:
@@ -65,3 +65,45 @@ class Table:
         for row in self.rows:
             out.append(",".join(self._fmt(v) for v in row))
         return "\n".join(out)
+
+    # -- structural (de)serialisation -----------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (title/columns/rows) for JSON storage.
+
+        The executor's result cache and the golden-snapshot store both
+        persist tables through this exact shape, so a table survives a
+        JSON round-trip bit-identically (ints stay ints, floats
+        round-trip through ``repr``)."""
+        return {"title": self.title, "columns": list(self.columns),
+                "rows": [list(row) for row in self.rows]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Table":
+        """Rebuild a table from :meth:`to_dict` output."""
+        t = cls(data["title"], data["columns"])
+        for row in data["rows"]:
+            t.add_row(*row)
+        return t
+
+    # -- cell-level comparison ------------------------------------------
+    def same_shape(self, other: "Table") -> bool:
+        """Do two tables have identical columns and row count?"""
+        return (self.columns == other.columns
+                and len(self.rows) == len(other.rows))
+
+    def diff(self, other: "Table") -> Iterator[Tuple[int, str, Any, Any]]:
+        """Yield ``(row_index, column, self_value, other_value)`` for
+        every cell where the two tables disagree exactly.
+
+        Shapes must match (:meth:`same_shape`); callers that need a
+        tolerance-aware or shape-tolerant comparison build on this
+        (see :mod:`repro.golden.policy`)."""
+        if not self.same_shape(other):
+            raise ValueError(
+                f"cannot diff tables of different shape: "
+                f"{self.columns}x{len(self.rows)} vs "
+                f"{other.columns}x{len(other.rows)}")
+        for i, (a_row, b_row) in enumerate(zip(self.rows, other.rows)):
+            for col, a, b in zip(self.columns, a_row, b_row):
+                if a != b or type(a) is not type(b):
+                    yield (i, col, a, b)

@@ -25,7 +25,7 @@ Three transmission paths mirror the paper's ping-pong variants:
 
 from __future__ import annotations
 
-from typing import Generator, Optional, Sequence, TYPE_CHECKING
+from typing import Generator, Optional, TYPE_CHECKING
 
 import numpy as np
 
@@ -33,7 +33,6 @@ from repro.dv.config import DVConfig, PACKET_BYTES, WORD_BYTES
 from repro.dv.vic import (CounterDec, CounterSet, FifoPush, MemWrite, Query,
                           VIC)
 from repro.sim.engine import Engine
-from repro.sim.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.dv.barrier import FastBarrier, HardwareBarrier

@@ -17,7 +17,7 @@ Two implementations, matching the two lines of the paper's Fig. 4:
 
 from __future__ import annotations
 
-from typing import Generator, List, Sequence
+from typing import Generator, Sequence
 
 from repro.dv.config import DVConfig, PACKET_BYTES
 from repro.dv.vic import CounterDec, VIC

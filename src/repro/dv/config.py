@@ -7,7 +7,7 @@ the benchmark harness; tests construct variants to probe sensitivity.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 GiB = 1024 ** 3

@@ -20,7 +20,7 @@ Faithfully modelled quirks:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.sim.engine import Engine
 from repro.sim.events import Event

@@ -25,7 +25,7 @@ Semantics reproduced exactly:
 from __future__ import annotations
 
 import collections
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, List, Tuple
 
 import numpy as np
 

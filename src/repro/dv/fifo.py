@@ -10,7 +10,7 @@ arrival order (the network model already reorders at batch granularity).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 

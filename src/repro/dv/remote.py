@@ -18,14 +18,14 @@ paper leaves implicit):
 
 from __future__ import annotations
 
-from typing import Generator, Optional, Sequence
+from typing import Generator, Optional
 
 import numpy as np
 
 from repro.core.cluster import ClusterSpec, run_spmd
 from repro.core.context import RankContext
 from repro.dv.api import DataVortexAPI
-from repro.dv.vic import MemWrite, Query
+from repro.dv.vic import Query
 from repro.sim.rng import rng_for
 
 

@@ -17,8 +17,8 @@ it advances in lock-step cycles, which is how the hardware works.
 from __future__ import annotations
 
 import collections
-from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional
 
 from repro.dv.topology import Coord, DataVortexTopology
 from repro.faults import injector as fltreg

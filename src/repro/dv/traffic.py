@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, List
 
 from repro.dv.switch import CycleSwitch
 from repro.dv.topology import DataVortexTopology

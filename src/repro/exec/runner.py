@@ -39,20 +39,14 @@ def _encode_value(value: Any) -> Any:
     """Make a runner result JSON-friendly (Tables get a tagged dict)."""
     from repro.core.report import Table
     if isinstance(value, Table):
-        return {_TABLE_TAG: {"title": value.title,
-                             "columns": value.columns,
-                             "rows": value.rows}}
+        return {_TABLE_TAG: value.to_dict()}
     return value
 
 
 def _decode_value(value: Any) -> Any:
     if isinstance(value, dict) and _TABLE_TAG in value:
         from repro.core.report import Table
-        data = value[_TABLE_TAG]
-        t = Table(data["title"], data["columns"])
-        for row in data["rows"]:
-            t.add_row(*row)
-        return t
+        return Table.from_dict(value[_TABLE_TAG])
     return value
 
 

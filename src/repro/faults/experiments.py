@@ -32,8 +32,7 @@ from repro.dv.transport import ReliableTransport, TransportConfig
 from repro.faults.injector import session
 from repro.faults.plan import FaultPlan
 from repro.kernels.bfs import (_LocalGraph, _NO_PARENT, _expand,
-                               _unpack_pairs, serial_bfs,
-                               validate_parent_tree)
+                               _unpack_pairs, validate_parent_tree)
 from repro.kernels.gups import _apply, _make_updates, _pack, \
     serial_gups_table
 from repro.kernels.kronecker import kronecker_edges, to_csr

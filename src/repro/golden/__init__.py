@@ -1,0 +1,42 @@
+"""Golden-results validation: the repo's claims, pinned as data.
+
+The paper's claims live in its figures; the repo's engineering claims
+live in one sentence — *bit-identical when disabled / parallel /
+cached*.  This package turns both into enforced artifacts:
+
+* :mod:`repro.golden.store` — content-addressed snapshot store
+  (``goldens/``, JSON keyed by figure + params + package version);
+* :mod:`repro.golden.policy` — per-figure tolerance policy (exact for
+  structural columns, tight relative tolerance for timing-derived
+  ones) with readable cell-level diffs;
+* :mod:`repro.golden.harness` — the determinism harness: every golden
+  figure re-run serial-vs-parallel, cold-vs-warm cache, obs on-vs-off,
+  and all-zero-FaultPlan-vs-none, demanding bit-identity;
+* :mod:`repro.golden.drift` — flow-vs-cycle calibration error tracked
+  as an append-only series across PRs.
+
+``repro verify --record`` / ``--compare`` is the CLI face; CI runs the
+compare gate on every push (see docs/ci.md).
+"""
+
+from repro.golden.drift import (append_record, drift_record, load_series,
+                                measure_scenarios)
+from repro.golden.harness import (AXES, GOLDEN_CONFIGS, AxisReport,
+                                  FigReport, check_axis, compare_goldens,
+                                  record_goldens, run_golden_fig,
+                                  run_goldens, run_harness)
+from repro.golden.policy import (EXACT, TIMING, CellDiff, FigPolicy,
+                                 Tolerance, compare_tables, policy_for,
+                                 render_diffs)
+from repro.golden.store import DEFAULT_GOLDEN_DIR, GoldenStore, golden_key
+
+__all__ = [
+    "AXES", "GOLDEN_CONFIGS", "DEFAULT_GOLDEN_DIR",
+    "AxisReport", "FigReport", "CellDiff", "FigPolicy", "Tolerance",
+    "EXACT", "TIMING",
+    "GoldenStore", "golden_key",
+    "check_axis", "compare_goldens", "compare_tables", "policy_for",
+    "record_goldens", "render_diffs", "run_golden_fig", "run_goldens",
+    "run_harness",
+    "append_record", "drift_record", "load_series", "measure_scenarios",
+]

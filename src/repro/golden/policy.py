@@ -1,0 +1,192 @@
+"""Per-figure tolerance policy and readable cell-level diffs.
+
+Two kinds of columns appear in the paper's tables:
+
+* **structural** columns — node counts, graph scales, message sizes,
+  application names, message counts.  These are exact by construction;
+  any drift is a logic change and the policy demands bit-equality.
+* **timing-derived** columns — bandwidths, latencies, MUPS, GFLOPS,
+  MTEPS, speedups.  These are pure functions of *simulated* time and
+  are deterministic on one platform, but they are floating-point
+  reductions whose last bits can legitimately move across numpy or
+  libm builds.  The policy grants them a tight relative tolerance
+  (default 1e-6) so the golden gate travels across CI runners without
+  going soft on real regressions.
+
+:func:`compare_tables` applies a :class:`FigPolicy` cell by cell and
+returns :class:`CellDiff` records that name the figure, the row (by
+index *and* by its first-column key), the column, both values, and the
+tolerance that was violated — the text the CI log shows when a PR
+drifts a figure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.core.report import Table
+
+__all__ = [
+    "Tolerance", "FigPolicy", "CellDiff", "POLICIES",
+    "policy_for", "compare_tables", "render_diffs",
+    "EXACT", "TIMING",
+]
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """How far a cell may stray from its golden value.
+
+    ``rel == abs == 0`` means bit-exact (and type-exact: an int that
+    becomes a float fails even when numerically equal).
+    """
+
+    rel: float = 0.0
+    abs: float = 0.0
+
+    @property
+    def exact(self) -> bool:
+        return self.rel == 0.0 and self.abs == 0.0
+
+    def check(self, expected: Any, actual: Any) -> Optional[str]:
+        """``None`` when the pair is within tolerance, else the reason."""
+        if self.exact:
+            if type(expected) is not type(actual):
+                return (f"type changed: {type(expected).__name__} -> "
+                        f"{type(actual).__name__} (exact equality)")
+            if expected != actual:
+                return "exact equality violated"
+            return None
+        if not (_numeric(expected) and _numeric(actual)):
+            if expected != actual:
+                return "non-numeric cell changed"
+            return None
+        e, a = float(expected), float(actual)
+        if math.isnan(e) or math.isnan(a):
+            return None if math.isnan(e) and math.isnan(a) else \
+                "NaN appeared on one side only"
+        err = abs(a - e)
+        bound = max(self.abs, self.rel * abs(e))
+        if err > bound:
+            return (f"|{a!r} - {e!r}| = {err:.3g} exceeds "
+                    f"rel={self.rel:g}/abs={self.abs:g} "
+                    f"(bound {bound:.3g})")
+        return None
+
+    def describe(self) -> str:
+        if self.exact:
+            return "exact"
+        return f"rel<={self.rel:g}, abs<={self.abs:g}"
+
+
+#: Bit-exact (structural columns; also every determinism-harness axis).
+EXACT = Tolerance()
+#: Timing-derived columns: tight relative slack for cross-build floats.
+TIMING = Tolerance(rel=1e-6, abs=1e-12)
+
+
+@dataclass(frozen=True)
+class FigPolicy:
+    """Per-column tolerances for one figure (default: exact)."""
+
+    default: Tolerance = EXACT
+    columns: Mapping[str, Tolerance] = field(default_factory=dict)
+
+    def for_column(self, column: str) -> Tolerance:
+        return self.columns.get(column, self.default)
+
+
+def _timing_policy(*columns: str) -> FigPolicy:
+    """Exact everywhere except the named timing-derived columns."""
+    return FigPolicy(columns={c: TIMING for c in columns})
+
+
+#: The per-figure policy table.  Structural columns (nodes, scale,
+#: words, application) stay exact; every timing-derived column gets
+#: the tight relative tolerance.  Figures not listed here are exact.
+POLICIES: Dict[str, FigPolicy] = {
+    "fig3a": _timing_policy("dwr_nocached", "dwr_cached",
+                            "dma_cached", "mpi"),
+    "fig3b": _timing_policy("dwr_nocached", "dwr_cached",
+                            "dma_cached", "mpi"),
+    "fig4": _timing_policy("dv", "dv_fast", "mpi"),
+    "fig6a": _timing_policy("dv_per_pe", "mpi_per_pe",
+                            "dv_total", "mpi_total"),
+    "fig6b": _timing_policy("dv_per_pe", "mpi_per_pe",
+                            "dv_total", "mpi_total"),
+    "fig7": _timing_policy("dv", "mpi"),
+    "fig8": _timing_policy("dv", "mpi"),
+    "fig9": _timing_policy("speedup"),
+}
+
+
+def policy_for(fig: str) -> FigPolicy:
+    """The figure's policy (exact-everywhere when unlisted)."""
+    return POLICIES.get(fig, FigPolicy())
+
+
+@dataclass(frozen=True)
+class CellDiff:
+    """One out-of-tolerance cell (or a structural table mismatch)."""
+
+    fig: str
+    row: Optional[int]          #: row index, None for table-level diffs
+    column: str
+    row_key: Any                #: first-column value naming the row
+    expected: Any
+    actual: Any
+    tolerance: str              #: the policy that was violated
+    reason: str
+
+    def describe(self) -> str:
+        where = (f"{self.fig}[{self.column}]" if self.row is None else
+                 f"{self.fig}[row {self.row} "
+                 f"({self.row_key}), col {self.column!r}]")
+        return (f"{where}: expected {self.expected!r}, "
+                f"got {self.actual!r} — {self.reason} "
+                f"[tolerance: {self.tolerance}]")
+
+
+def _numeric(v: Any) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def compare_tables(fig: str, expected: Table, actual: Table,
+                   policy: Optional[FigPolicy] = None) -> List[CellDiff]:
+    """Cell-level comparison of ``actual`` against the golden.
+
+    Structural mismatches (title, columns, row count) short-circuit
+    into table-level diffs; otherwise every cell is checked against its
+    column's tolerance.  An empty list means the figure matches."""
+    policy = policy or policy_for(fig)
+    diffs: List[CellDiff] = []
+    if expected.title != actual.title:
+        diffs.append(CellDiff(fig, None, "<title>", None,
+                              expected.title, actual.title,
+                              "exact", "table title changed"))
+    if expected.columns != actual.columns:
+        diffs.append(CellDiff(fig, None, "<columns>", None,
+                              expected.columns, actual.columns,
+                              "exact", "column set changed"))
+        return diffs
+    if len(expected.rows) != len(actual.rows):
+        diffs.append(CellDiff(fig, None, "<rows>", None,
+                              len(expected.rows), len(actual.rows),
+                              "exact", "row count changed"))
+        return diffs
+    for i, (e_row, a_row) in enumerate(zip(expected.rows, actual.rows)):
+        row_key = e_row[0] if e_row else None
+        for col, e, a in zip(expected.columns, e_row, a_row):
+            tol = policy.for_column(col)
+            reason = tol.check(e, a)
+            if reason is not None:
+                diffs.append(CellDiff(fig, i, col, row_key, e, a,
+                                      tol.describe(), reason))
+    return diffs
+
+
+def render_diffs(diffs: List[CellDiff]) -> str:
+    """One readable line per out-of-tolerance cell."""
+    return "\n".join(d.describe() for d in diffs)

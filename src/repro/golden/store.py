@@ -1,0 +1,137 @@
+"""Content-addressed golden-snapshot store.
+
+Every recorded figure lives as one JSON file under ``goldens/`` named
+``<fig>-<key12>.json``, where the key is the SHA-256 of the figure's
+canonical identity::
+
+    {"runner": "golden.<fig>", "params": {...}, "version": "1.0.0"}
+
+— the same strict canonicalisation the executor's result cache uses
+(:func:`repro.exec.cache.cache_key`), so numpy scalars in parameters
+hash identically to the Python numbers they equal, and a golden is
+invalidated automatically when the figure's parameters or the repro
+package version change.  A compare against a missing key therefore
+fails loudly (``no golden recorded``) instead of silently matching a
+stale snapshot from an older code version.
+
+Record and compare are the only two modes:
+
+* :meth:`GoldenStore.record` — overwrite the snapshot for (fig,
+  params, version) with a freshly computed table;
+* :meth:`GoldenStore.load` — fetch the stored table for comparison
+  (``None`` when no golden exists for the exact identity).
+
+Entries are written with sorted keys and a trailing newline so the
+committed files diff cleanly under git.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro import __version__
+from repro.core.report import Table
+from repro.exec.cache import cache_key
+
+__all__ = ["GoldenStore", "DEFAULT_GOLDEN_DIR", "golden_key"]
+
+#: Repo-relative directory the committed goldens live in.
+DEFAULT_GOLDEN_DIR = "goldens"
+
+
+def golden_key(fig: str, params: Mapping[str, Any],
+               version: str = __version__) -> str:
+    """SHA-256 identity of one (figure, params, version) snapshot."""
+    return cache_key(f"golden.{fig}", params, version=version)
+
+
+class GoldenStore:
+    """Directory of per-figure golden snapshots with record/load."""
+
+    def __init__(self, root: str = DEFAULT_GOLDEN_DIR) -> None:
+        self.root = str(root)
+
+    def _path(self, fig: str, key: str) -> str:
+        return os.path.join(self.root, f"{fig}-{key[:12]}.json")
+
+    def path(self, fig: str, params: Mapping[str, Any],
+             version: str = __version__) -> str:
+        """Where the snapshot for this identity lives (may not exist)."""
+        return self._path(fig, golden_key(fig, params, version))
+
+    # -- record ----------------------------------------------------------
+    def record(self, fig: str, params: Mapping[str, Any], table: Table,
+               meta: Optional[Mapping[str, Any]] = None,
+               version: str = __version__) -> str:
+        """Store ``table`` as the golden for (fig, params, version).
+
+        Returns the path written.  The write is atomic (tmp + rename)
+        so a crashed record never leaves a truncated golden behind."""
+        key = golden_key(fig, params, version)
+        entry: Dict[str, Any] = {
+            "fig": fig,
+            "key": key,
+            "version": version,
+            "params": {k: _plain(v) for k, v in sorted(params.items())},
+            "table": table.to_dict(),
+        }
+        if meta:
+            entry["meta"] = dict(meta)
+        os.makedirs(self.root, exist_ok=True)
+        path = self._path(fig, key)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(entry, indent=1, sort_keys=True))
+            fh.write("\n")
+        os.replace(tmp, path)
+        return path
+
+    # -- load ------------------------------------------------------------
+    def load(self, fig: str, params: Mapping[str, Any],
+             version: str = __version__
+             ) -> Tuple[Optional[Table], Optional[Dict[str, Any]]]:
+        """``(table, entry)`` for the stored golden, or ``(None, None)``.
+
+        A corrupted or truncated entry behaves like a missing golden;
+        the compare path reports it as unrecorded rather than crashing."""
+        path = self._path(fig, golden_key(fig, params, version))
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+            table = Table.from_dict(entry["table"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return (None, None)
+        return (table, entry)
+
+    # -- inventory -------------------------------------------------------
+    def entries(self) -> List[Dict[str, Any]]:
+        """Every parseable golden entry in the store, sorted by file."""
+        out: List[Dict[str, Any]] = []
+        if not os.path.isdir(self.root):
+            return out
+        for name in sorted(os.listdir(self.root)):
+            if not name.endswith(".json") or name.startswith("drift"):
+                continue
+            try:
+                with open(os.path.join(self.root, name),
+                          encoding="utf-8") as fh:
+                    entry = json.load(fh)
+            except (OSError, ValueError):
+                continue
+            if isinstance(entry, dict) and "fig" in entry:
+                out.append(entry)
+        return out
+
+    def figs(self) -> List[str]:
+        """Figure ids with at least one recorded golden."""
+        return sorted({e["fig"] for e in self.entries()})
+
+
+def _plain(value: Any) -> Any:
+    """Readable JSON form of a parameter for the entry body (the *key*
+    uses the strict canonicaliser; this is only for human inspection)."""
+    if isinstance(value, tuple):
+        return list(value)
+    return value

@@ -15,7 +15,7 @@ moves actual data, so benchmark results can be validated numerically.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 import numpy as np

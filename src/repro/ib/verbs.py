@@ -23,7 +23,7 @@ Model:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generator, Optional, Tuple, TYPE_CHECKING
+from typing import Dict, Generator, Tuple, TYPE_CHECKING
 
 import numpy as np
 

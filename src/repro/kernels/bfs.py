@@ -28,7 +28,7 @@ serial CSR BFS).
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional
+from typing import Dict, Generator, List
 
 import numpy as np
 

@@ -26,7 +26,7 @@ Communication:
 
 from __future__ import annotations
 
-from typing import Dict, Generator, Optional
+from typing import Dict, Generator
 
 import numpy as np
 

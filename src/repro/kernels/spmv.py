@@ -27,7 +27,7 @@ iteration on the full matrix to round-off.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List
+from typing import Dict
 
 import numpy as np
 import scipy.sparse as sp

@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 
 from repro.apps import run_heat, run_snap, run_vorticity
 from repro.apps.heat import (initial_field, process_grid, step_serial,
-                             _neighbours, _coords)
+                             _neighbours)
 from repro.apps.snap import angle_quadrature, serial_sweep, sweep_slab
 from repro.apps.vorticity import (dealias_mask, initial_vorticity_hat,
                                   invariants, nonlinear_term_hat,

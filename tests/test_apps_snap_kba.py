@@ -7,8 +7,7 @@ import pytest
 from repro.apps.pipeline import CounterPipe
 from repro.apps.snap import angle_quadrature
 from repro.apps.snap_kba import (OCTANTS, _orient, kba_grid,
-                                 run_snap_kba, serial_sweep_kba,
-                                 sweep_block)
+                                 run_snap_kba, sweep_block)
 from repro.core import ClusterSpec, run_spmd
 
 

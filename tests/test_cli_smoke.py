@@ -1,0 +1,138 @@
+"""Every CLI subcommand runs end-to-end with tiny params and exits 0.
+
+The per-command tests elsewhere check *content*; this module is the
+breadth gate: no subcommand may crash, hang, or return nonzero at its
+smallest sensible configuration.  Rides in tier-1 CI.
+"""
+
+import json
+
+import pytest
+
+from repro import __version__, cli
+
+TINY = {
+    "fig3": ["--max-log2-words", "3", "--iters", "1"],
+    "fig4": ["--nodes", "2", "--iters", "1"],
+    "fig5": ["--nodes", "2"],
+    "fig6": ["--nodes", "2"],
+    "fig7": ["--nodes", "2", "--log2-points", "10"],
+    "fig8": ["--nodes", "2", "--scale", "7", "--roots", "1"],
+    "fig9": ["--nodes", "2"],
+    "chase": ["--nodes", "2", "--hops", "8"],
+    "spmv": ["--nodes", "2", "--scale", "6"],
+    "scaling": ["--workers", "2"],
+    "sweep": ["--name", "barrier", "--nodes", "2"],
+    "figures": ["--figs", "fig4"],
+    "obs": ["--nodes", "2"],
+    "faults": ["--drops", "0,0.02", "--workloads", "gups",
+               "--nodes", "2"],
+}
+
+
+def test_smoke_table_covers_every_subcommand():
+    """If a new subcommand appears it must get a smoke entry (cache and
+    verify have dedicated tests below; list is trivial)."""
+    assert sorted(cli.COMMANDS) == sorted([*TINY, "cache", "verify"])
+
+
+@pytest.mark.parametrize("command", sorted(TINY))
+def test_subcommand_exits_zero(command, capsys):
+    assert cli.main([command, *TINY[command]]) == 0
+    assert capsys.readouterr().out.strip()
+
+
+def test_list_exits_zero(capsys):
+    assert cli.main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "verify" in out
+
+
+def test_cache_subcommand_exits_zero(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    assert cli.main(["fig4", "--nodes", "2", "--iters", "1",
+                     "--cache", cache]) == 0
+    capsys.readouterr()
+    assert cli.main(["cache", "--cache", cache]) == 0
+    assert json.loads(capsys.readouterr().out)["entries"] >= 0
+
+
+def test_version_flag(capsys):
+    with pytest.raises(SystemExit) as exc:
+        cli.main(["--version"])
+    assert exc.value.code == 0
+    assert __version__ in capsys.readouterr().out
+
+
+# ------------------------------------------------------------- verify ---
+
+def test_verify_record_then_compare_round_trip(tmp_path, capsys):
+    goldens = str(tmp_path / "goldens")
+    assert cli.main(["verify", "--record", "--figs", "fig4",
+                     "--goldens", goldens]) == 0
+    out = capsys.readouterr().out
+    assert "recorded fig4" in out and "drift" in out
+    assert cli.main(["verify", "--compare", "--figs", "fig4",
+                     "--goldens", goldens, "--axes", "none"]) == 0
+    out = capsys.readouterr().out
+    assert "fig4: ok" in out and "verify: ok" in out
+    assert "calibration drift" in out
+
+
+def test_verify_compare_fails_on_perturbed_cell(tmp_path, capsys):
+    """The acceptance-criteria path: one flipped table cell must fail
+    the gate with a diff naming the figure, cell, and tolerance."""
+    goldens = tmp_path / "goldens"
+    assert cli.main(["verify", "--record", "--figs", "fig4",
+                     "--goldens", str(goldens)]) == 0
+    capsys.readouterr()
+    (path,) = [p for p in goldens.iterdir()
+               if p.name.startswith("fig4-")]
+    entry = json.loads(path.read_text())
+    entry["table"]["rows"][0][1] += 0.25        # dv at nodes=2
+    path.write_text(json.dumps(entry))
+
+    assert cli.main(["verify", "--compare", "--figs", "fig4",
+                     "--goldens", str(goldens),
+                     "--axes", "none"]) == 1
+    out = capsys.readouterr().out
+    assert "verify: FAILED" in out
+    assert "fig4[row 0 (2), col 'dv']" in out
+    assert "rel<=1e-06" in out
+
+
+def test_verify_harness_axes_subset(tmp_path, capsys):
+    goldens = str(tmp_path / "goldens")
+    assert cli.main(["verify", "--record", "--figs", "fig4",
+                     "--goldens", goldens]) == 0
+    capsys.readouterr()
+    assert cli.main(["verify", "--figs", "fig4", "--goldens", goldens,
+                     "--axes", "obs,faults"]) == 0
+    out = capsys.readouterr().out
+    assert "axis 'obs'" in out and "axis 'faults'" in out
+    assert "axis 'workers'" not in out
+
+
+def test_verify_missing_golden_fails(tmp_path, capsys):
+    assert cli.main(["verify", "--figs", "fig4", "--axes", "none",
+                     "--goldens", str(tmp_path / "empty")]) == 1
+    assert "NO GOLDEN" in capsys.readouterr().out
+
+
+def test_verify_rejects_unknown_fig(tmp_path, capsys):
+    assert cli.main(["verify", "--figs", "fig999",
+                     "--goldens", str(tmp_path)]) == 2
+
+
+def test_verify_rejects_unknown_axis(tmp_path, capsys):
+    goldens = str(tmp_path / "goldens")
+    assert cli.main(["verify", "--record", "--figs", "fig4",
+                     "--goldens", goldens]) == 0
+    capsys.readouterr()
+    assert cli.main(["verify", "--figs", "fig4", "--goldens", goldens,
+                     "--axes", "moon-phase"]) == 2
+
+
+def test_verify_record_and_compare_mutually_exclusive(tmp_path):
+    assert cli.main(["verify", "--record", "--compare",
+                     "--goldens", str(tmp_path)]) == 2

@@ -1,6 +1,5 @@
 """Tests for the core framework: node model, metrics, trace, report."""
 
-import math
 
 import pytest
 

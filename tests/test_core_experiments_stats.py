@@ -2,10 +2,10 @@
 
 import pytest
 
-from repro.core.experiments import (REGISTRY, Experiment, index_table,
+from repro.core.experiments import (REGISTRY, index_table,
                                     run_experiment)
 from repro.core.report import Table
-from repro.core.stats import Summary, replicate, summarize
+from repro.core.stats import replicate, summarize
 
 
 # ------------------------------------------------------------- registry ---

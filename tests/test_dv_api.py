@@ -5,7 +5,6 @@ import pytest
 
 from repro.dv import (DVConfig, DataVortexAPI, FastBarrier, FlowNetwork,
                       HardwareBarrier, VIC)
-from repro.dv.config import PACKET_BYTES, WORD_BYTES
 from repro.sim import Engine
 
 

@@ -1,7 +1,6 @@
 """Validation of the flow-level network model against the cycle-accurate
 switch — the contract that lets benchmarks use the fast model."""
 
-import numpy as np
 import pytest
 
 from repro.dv import CycleSwitch, DVConfig, DataVortexTopology, FlowNetwork

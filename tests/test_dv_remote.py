@@ -6,7 +6,6 @@ import pytest
 from repro.core import ClusterSpec, run_spmd
 from repro.dv.remote import (RemoteMemory, make_ring_permutation,
                              pointer_chase)
-from repro.sim.rng import rng_for
 
 
 def test_ring_permutation_is_single_cycle():

@@ -1,0 +1,73 @@
+"""Calibration-drift tracker: scenarios, determinism, append-only IO."""
+
+import json
+
+from repro.dv import DVConfig
+from repro.golden.drift import (SCENARIO_FIGS, append_record,
+                                drift_record, load_series,
+                                measure_scenarios)
+
+
+def test_scenarios_cover_every_declared_mapping():
+    out = measure_scenarios()
+    assert sorted(out) == sorted(SCENARIO_FIGS)
+    for name, rec in out.items():
+        assert rec["figs"] == SCENARIO_FIGS[name]
+        assert rec["flow_s"] > 0 and rec["cycle_s"] > 0
+        # calibration error is the point: finite and not absurd
+        assert abs(rec["rel_err"]) < 2.0
+
+
+def test_measurement_is_deterministic():
+    a = measure_scenarios()
+    b = measure_scenarios()
+    assert a == b
+
+
+def test_unloaded_latency_within_flow_model_contract():
+    """Same contract tests/test_dv_flow_vs_cycle.py pins: the unloaded
+    flow latency sits within a few hop times of the cycle switch."""
+    r = measure_scenarios()["unloaded_latency"]
+    cfg = DVConfig(height=8, angles=2)
+    assert abs(r["flow_s"] - r["cycle_s"]) <= 2.5 * cfg.hop_time_s
+
+
+def test_drift_record_shape():
+    rec = drift_record(note="unit test")
+    assert rec["note"] == "unit test"
+    assert rec["version"]
+    assert isinstance(rec["recorded_unix"], int)
+    assert sorted(rec["scenarios"]) == sorted(SCENARIO_FIGS)
+
+
+def test_series_is_append_only(tmp_path):
+    root = str(tmp_path)
+    rec = {"version": "1.0.0", "recorded_unix": 1,
+           "scenarios": {"unloaded_latency": {"rel_err": 0.1}}}
+    append_record(root, rec)
+    append_record(root, dict(rec, recorded_unix=2))
+    series = load_series(root)
+    assert [r["recorded_unix"] for r in series] == [1, 2]
+    # appending never rewrites the earlier line
+    lines = (tmp_path / "drift.jsonl").read_text().splitlines()
+    assert json.loads(lines[0])["recorded_unix"] == 1
+
+
+def test_load_series_skips_corrupt_lines(tmp_path):
+    path = tmp_path / "drift.jsonl"
+    path.write_text('{"recorded_unix": 1}\nnot json\n'
+                    '{"recorded_unix": 2}\n\n')
+    series = load_series(str(tmp_path))
+    assert [r["recorded_unix"] for r in series] == [1, 2]
+
+
+def test_load_series_missing_file_is_empty(tmp_path):
+    assert load_series(str(tmp_path / "nope")) == []
+
+
+def test_committed_series_has_at_least_one_record():
+    import pathlib
+    root = pathlib.Path(__file__).resolve().parents[1] / "goldens"
+    series = load_series(str(root))
+    assert len(series) >= 1
+    assert sorted(series[-1]["scenarios"]) == sorted(SCENARIO_FIGS)

@@ -1,0 +1,160 @@
+"""Tolerance policy: exactness, relative slack, and diff readability."""
+
+import math
+
+import pytest
+
+from repro.core.report import Table
+from repro.golden.policy import (EXACT, TIMING, FigPolicy, Tolerance,
+                                 compare_tables, policy_for,
+                                 render_diffs)
+
+
+def _fig4(dv_fast=1.1647):
+    t = Table("fig4: barrier latency (us)",
+              ["nodes", "dv", "dv_fast", "mpi"])
+    t.add_row(2, 0.607, 0.595, 2.209)
+    t.add_row(4, 0.611, dv_fast, 4.418)
+    return t
+
+
+# ------------------------------------------------------------ Tolerance ---
+
+def test_exact_tolerance_accepts_identical():
+    assert EXACT.check(1.5, 1.5) is None
+    assert EXACT.check("SNAP", "SNAP") is None
+
+
+def test_exact_tolerance_rejects_last_bit():
+    assert EXACT.check(1.5, 1.5 + 1e-15) is not None
+
+
+def test_exact_tolerance_rejects_type_drift():
+    """2 -> 2.0 is a logic change even though the values compare equal."""
+    assert EXACT.check(2, 2.0) is not None
+
+
+def test_relative_tolerance_window():
+    tol = Tolerance(rel=1e-6)
+    assert tol.check(100.0, 100.0 + 5e-5) is None
+    reason = tol.check(100.0, 100.2)
+    assert reason is not None and "rel=1e-06" in reason
+
+
+def test_abs_tolerance_covers_near_zero():
+    tol = Tolerance(rel=1e-6, abs=1e-9)
+    assert tol.check(0.0, 5e-10) is None
+    assert tol.check(0.0, 5e-3) is not None
+
+
+def test_nan_only_matches_nan():
+    assert TIMING.check(math.nan, math.nan) is None
+    assert TIMING.check(1.0, math.nan) is not None
+
+
+def test_non_numeric_cells_compare_exactly_under_timing():
+    assert TIMING.check("dv", "dv") is None
+    assert TIMING.check("dv", "mpi") is not None
+
+
+# -------------------------------------------------------------- policies ---
+
+def test_policy_for_known_fig_has_timing_columns():
+    pol = policy_for("fig4")
+    assert pol.for_column("nodes").exact
+    assert pol.for_column("dv_fast") == TIMING
+
+
+def test_policy_for_unknown_fig_is_exact_everywhere():
+    pol = policy_for("fig999")
+    assert pol.for_column("anything").exact
+
+
+# -------------------------------------------------------- compare_tables ---
+
+def test_identical_tables_produce_no_diffs():
+    assert compare_tables("fig4", _fig4(), _fig4()) == []
+
+
+def test_timing_column_within_tolerance_passes():
+    assert compare_tables("fig4", _fig4(),
+                          _fig4(dv_fast=1.1647 * (1 + 1e-8))) == []
+
+
+def test_perturbed_cell_names_fig_row_column_and_tolerance():
+    diffs = compare_tables("fig4", _fig4(), _fig4(dv_fast=1.6647))
+    assert len(diffs) == 1
+    d = diffs[0]
+    assert (d.fig, d.row, d.column, d.row_key) == ("fig4", 1,
+                                                   "dv_fast", 4)
+    text = d.describe()
+    assert "fig4" in text and "dv_fast" in text and "row 1" in text
+    assert "rel<=1e-06" in text
+
+
+def test_structural_int_column_is_exact():
+    a, b = _fig4(), _fig4()
+    b.rows[0][0] = 3
+    diffs = compare_tables("fig4", a, b)
+    assert len(diffs) == 1
+    assert diffs[0].column == "nodes"
+    assert diffs[0].tolerance == "exact"
+
+
+def test_column_set_change_short_circuits():
+    a = _fig4()
+    b = Table(a.title, ["nodes", "dv", "mpi"])
+    b.add_row(2, 0.607, 2.209)
+    diffs = compare_tables("fig4", a, b)
+    assert [d.column for d in diffs] == ["<columns>"]
+
+
+def test_row_count_change_reported():
+    a, b = _fig4(), _fig4()
+    b.rows.pop()
+    diffs = compare_tables("fig4", a, b)
+    assert [d.column for d in diffs] == ["<rows>"]
+    assert (diffs[0].expected, diffs[0].actual) == (2, 1)
+
+
+def test_title_change_reported_alongside_cells():
+    a, b = _fig4(), _fig4(dv_fast=9.9)
+    b.title = "renamed"
+    cols = [d.column for d in compare_tables("fig4", a, b)]
+    assert "<title>" in cols and "dv_fast" in cols
+
+
+def test_render_diffs_one_line_per_cell():
+    diffs = compare_tables("fig4", _fig4(), _fig4(dv_fast=9.9))
+    assert len(render_diffs(diffs).splitlines()) == len(diffs)
+
+
+def test_explicit_policy_overrides_registry():
+    loose = FigPolicy(default=Tolerance(rel=10.0))
+    assert compare_tables("fig4", _fig4(), _fig4(dv_fast=2.0),
+                          policy=loose) == []
+
+
+# ----------------------------------------------------- Table.diff support ---
+
+def test_table_diff_yields_unequal_cells():
+    a, b = _fig4(), _fig4(dv_fast=9.9)
+    assert list(a.diff(b)) == [(1, "dv_fast", 1.1647, 9.9)]
+
+
+def test_table_diff_flags_type_change():
+    a, b = _fig4(), _fig4()
+    b.rows[0][0] = 2.0
+    assert list(a.diff(b)) == [(0, "nodes", 2, 2.0)]
+
+
+def test_table_diff_rejects_shape_mismatch():
+    a = _fig4()
+    b = Table(a.title, ["nodes"])
+    with pytest.raises(ValueError):
+        list(a.diff(b))
+
+
+def test_table_dict_round_trip():
+    a = _fig4()
+    assert Table.from_dict(a.to_dict()).to_dict() == a.to_dict()

@@ -1,0 +1,111 @@
+"""Golden-snapshot store: content addressing, round-trips, corruption."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.report import Table
+from repro.golden.store import GoldenStore, golden_key
+
+
+def _table():
+    t = Table("fig4: barrier latency (us)", ["nodes", "dv", "mpi"])
+    t.add_row(2, 0.607, 2.209)
+    t.add_row(4, 0.611, 4.418)
+    return t
+
+
+def test_record_load_round_trip(tmp_path):
+    store = GoldenStore(str(tmp_path))
+    params = {"seed": 2017, "nodes": (2, 4)}
+    path = store.record("fig4", params, _table())
+    assert os.path.exists(path)
+    loaded, entry = store.load("fig4", params)
+    assert loaded.to_dict() == _table().to_dict()
+    assert entry["fig"] == "fig4"
+    from repro import __version__
+    assert entry["version"] == __version__
+    assert entry["key"] == golden_key("fig4", params)
+
+
+def test_round_trip_preserves_cell_types(tmp_path):
+    """ints stay ints and floats stay floats through JSON."""
+    store = GoldenStore(str(tmp_path))
+    store.record("fig4", {"seed": 1}, _table())
+    loaded, _ = store.load("fig4", {"seed": 1})
+    assert isinstance(loaded.rows[0][0], int)
+    assert isinstance(loaded.rows[0][1], float)
+    assert loaded.rows[0][1] == 0.607   # exact repr round-trip
+
+
+def test_key_depends_on_fig_params_and_version():
+    base = golden_key("fig4", {"seed": 1})
+    assert golden_key("fig6a", {"seed": 1}) != base
+    assert golden_key("fig4", {"seed": 2}) != base
+    assert golden_key("fig4", {"seed": 1}, version="9.9.9") != base
+
+
+def test_numpy_params_share_identity_with_python_ones():
+    """np.int64(8) and 8 name the same golden (arange-built sweeps)."""
+    assert (golden_key("fig4", {"nodes": (np.int64(2), np.int64(4))})
+            == golden_key("fig4", {"nodes": (2, 4)}))
+
+
+def test_load_missing_returns_none(tmp_path):
+    store = GoldenStore(str(tmp_path))
+    assert store.load("fig4", {"seed": 1}) == (None, None)
+
+
+def test_version_change_invalidates(tmp_path):
+    store = GoldenStore(str(tmp_path))
+    store.record("fig4", {"seed": 1}, _table(), version="1.0.0")
+    got, _ = store.load("fig4", {"seed": 1}, version="2.0.0")
+    assert got is None
+
+
+def test_corrupted_entry_behaves_like_missing(tmp_path):
+    store = GoldenStore(str(tmp_path))
+    params = {"seed": 1}
+    path = store.record("fig4", params, _table())
+    with open(path, "w") as fh:
+        fh.write("{truncated")
+    assert store.load("fig4", params) == (None, None)
+
+
+def test_record_overwrites_atomically(tmp_path):
+    store = GoldenStore(str(tmp_path))
+    params = {"seed": 1}
+    store.record("fig4", params, _table())
+    t2 = _table()
+    t2.rows[0][1] = 99.0
+    store.record("fig4", params, t2)
+    loaded, _ = store.load("fig4", params)
+    assert loaded.rows[0][1] == 99.0
+    assert not [n for n in os.listdir(tmp_path) if ".tmp." in n]
+
+
+def test_entries_and_figs_inventory(tmp_path):
+    store = GoldenStore(str(tmp_path))
+    store.record("fig4", {"seed": 1}, _table())
+    store.record("fig6a", {"seed": 1}, _table())
+    (tmp_path / "drift.jsonl").write_text('{"not": "a golden"}\n')
+    (tmp_path / "junk.json").write_text("not json at all")
+    assert store.figs() == ["fig4", "fig6a"]
+    assert len(store.entries()) == 2
+
+
+def test_committed_entry_is_sorted_and_newline_terminated(tmp_path):
+    """Entries must diff cleanly under git: stable key order + EOL."""
+    store = GoldenStore(str(tmp_path))
+    path = store.record("fig4", {"seed": 1, "nodes": (2,)}, _table())
+    text = open(path).read()
+    assert text.endswith("\n")
+    entry = json.loads(text)
+    assert list(entry) == sorted(entry)
+
+
+def test_unhashable_param_raises():
+    with pytest.raises(TypeError):
+        golden_key("fig4", {"bad": object()})

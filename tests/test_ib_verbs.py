@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core import ClusterSpec, run_spmd
-from repro.ib.verbs import VERBS_OVERHEAD_S
 
 
 def run_mpi(n, fn):

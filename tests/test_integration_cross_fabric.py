@@ -11,7 +11,6 @@ import pytest
 
 from repro.core import ClusterSpec, run_spmd
 from repro.kernels import run_bfs, run_fft1d, run_fft2d, run_gups
-from repro.kernels.gups import serial_gups_table
 from repro.apps import run_heat, run_snap, run_snap_kba, run_vorticity
 
 

@@ -10,7 +10,6 @@ from repro.kernels import kronecker_edges, run_bfs
 from repro.kernels.bfs import (serial_bfs, validate_parent_tree,
                                _NO_PARENT, _pack_pairs, _unpack_pairs)
 from repro.kernels.kronecker import degrees, to_csr
-from repro.sim.rng import rng_for
 
 
 # ------------------------------------------------------------ generator ---
