@@ -14,7 +14,7 @@ FORMATTED = src/repro/golden tests/test_golden_store.py \
             tests/test_golden_drift.py tests/test_cli_smoke.py
 
 .PHONY: test test-all test-exec test-faults bench obs help \
-        lint verify golden-record ci
+        lint verify golden-record ci scaleout
 
 help:
 	@echo "make ci            - what CI runs: lint -> tier-1 tests -> golden gate"
@@ -26,6 +26,7 @@ help:
 	@echo "make verify        - golden compare + 4-axis determinism harness"
 	@echo "make golden-record - refresh goldens/ after an intentional figure change"
 	@echo "make bench         - perf regression benchmarks; updates BENCH_exec.json"
+	@echo "make scaleout      - 64-1024-node cluster projection (docs/scaling.md)"
 	@echo "make obs           - example unified observability report (JSON)"
 
 # Mirrors .github/workflows/ci.yml step for step (lint job, test job,
@@ -38,6 +39,7 @@ lint:
 	else \
 		echo "lint: ruff not installed; skipping (CI runs it)"; \
 	fi
+	$(PYTHON) tools/check_api_signatures.py
 
 verify:
 	$(REPRO) verify --compare
@@ -59,6 +61,9 @@ test-faults:
 
 bench:
 	$(PYTEST) -q -m slow benchmarks/test_perf_regression.py
+
+scaleout:
+	$(REPRO) scaleout --workers 4 --cache .repro-cache
 
 obs:
 	PYTHONPATH=src $(PYTHON) -m repro.cli obs --nodes 4

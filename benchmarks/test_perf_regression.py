@@ -178,3 +178,42 @@ def test_degradation_sweep_serial_parallel_identical(tmp_path):
         "dv_mups_drop02": round(rows[("gups", "dv", 0.02)][3], 2),
         "retransmits_drop02": rows[("gups", "dv", 0.02)][5],
     })
+
+
+def test_flow_engine_ab_speedup_at_256_nodes():
+    """The nightly A/B guard for the pooled flow engines: one 256-node
+    GUPS run per implementation, identical simulated results, and the
+    fast engine at least 3x quicker wall-clock.  A regression here
+    means someone de-vectorised a hot path (or taught the reference
+    model a trick the fast one didn't learn)."""
+    from repro.core.cluster import ClusterSpec
+    from repro.kernels import run_gups
+
+    kw = dict(table_words=1 << 12, n_updates=1 << 11, window=256)
+
+    def one(flow_impl, reps=2):
+        best, result = float("inf"), None
+        for _ in range(reps):               # best-of-N against noise
+            spec = ClusterSpec(n_nodes=256, seed=2017,
+                               flow_impl=flow_impl)
+            t0 = time.perf_counter()
+            result = run_gups(spec, "dv", **kw)
+            best = min(best, time.perf_counter() - t0)
+        return result, best
+
+    ref, ref_s = one("reference")
+    fast, fast_s = one("fast")
+    drop = lambda r: {k: v for k, v in r.items() if k != "tracer"}
+    assert drop(fast) == drop(ref)           # bit-identical simulation
+    ratio = ref_s / max(fast_s, 1e-9)
+    _record("flow_engine_ab_gups256", {
+        "nodes": 256,
+        "n_updates_per_node": kw["n_updates"],
+        "reference_seconds": round(ref_s, 2),
+        "fast_seconds": round(fast_s, 2),
+        "speedup": round(ratio, 2),
+    })
+    assert ratio >= 3.0, (
+        f"fast flow engine only {ratio:.2f}x faster than reference "
+        f"({fast_s:.1f}s vs {ref_s:.1f}s) — regression below the 3x "
+        f"floor")

@@ -1,0 +1,249 @@
+"""The stable programmatic facade over the repro stack.
+
+Everything a driver needs — regenerating paper figures, running named
+parameter sweeps, projecting 64-1024-node clusters, gating against the
+golden snapshots — behind a handful of **keyword-only** entry points
+with one options vocabulary:
+
+>>> import repro.api as api
+>>> t = api.run_figure(exp_id="fig4", nodes=(2, 4))
+>>> t.columns
+['nodes', 'dv', 'dv_fast', 'mpi']
+
+The facade is versioned independently of the package
+(:data:`__api_version__`, semver): additions bump the minor version,
+breaking changes — none so far — would bump the major.  Only names in
+:data:`__all__` are covered by that contract.  Every public callable
+takes keyword-only arguments (enforced by ``tools/check_api_signatures
+.py`` in ``make lint``), so call sites stay readable and parameters can
+be added without breaking anyone.
+
+Heavy imports happen inside the functions: ``import repro.api`` is
+cheap, and the lazy imports also break the cycle with the golden
+harness, which routes its figure runs back through :func:`run_figure`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+__api_version__ = "1.0.0"
+
+__all__ = [
+    "__api_version__",
+    "ExperimentSpec",
+    "RunOptions",
+    "GoldenVerdict",
+    "build_cluster",
+    "run_figure",
+    "run_figures",
+    "run_sweep",
+    "run_scaleout",
+    "verify_goldens",
+]
+
+
+# ----------------------------------------------------------- datatypes ---
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment request: a registry id plus runner parameters.
+
+    The params mapping is passed verbatim to the experiment's runner
+    (see :data:`repro.core.experiments.REGISTRY` for what each accepts).
+    """
+
+    exp_id: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.exp_id:
+            raise ValueError("exp_id must be non-empty")
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Execution options shared by every facade entry point.
+
+    ``workers`` > 1 fans independent points across a process pool;
+    ``cache_dir`` memoises finished points on disk.  Both leave results
+    bit-identical to a serial, uncached run (the golden harness checks
+    exactly that).
+    """
+
+    workers: int = 1
+    cache_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+
+    def executor(self) -> "Executor":
+        """The :class:`~repro.exec.Executor` these options describe."""
+        from repro.exec import Executor
+        return Executor(workers=self.workers, cache_dir=self.cache_dir)
+
+
+@dataclass(frozen=True)
+class GoldenVerdict:
+    """Outcome of :func:`verify_goldens`."""
+
+    ok: bool
+    #: per-figure compare reports (empty in record mode)
+    reports: Tuple["FigReport", ...] = ()
+    #: per-(figure, axis) determinism reports (when axes were requested)
+    axis_reports: Tuple["AxisReport", ...] = ()
+    #: ``{fig: path}`` of snapshots written (record mode only)
+    recorded: Mapping[str, str] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        lines = [r.describe() for r in self.reports]
+        lines += [r.describe() for r in self.axis_reports]
+        lines += [f"recorded {fig}: {path}"
+                  for fig, path in sorted(self.recorded.items())]
+        lines.append("verify: ok" if self.ok else "verify: FAILED")
+        return "\n".join(lines)
+
+
+def _executor(options: Optional[RunOptions]) -> "Executor":
+    return (options or RunOptions()).executor()
+
+
+# ------------------------------------------------------------- builders ---
+
+def build_cluster(*, n_nodes: int = 32, seed: int = 2017,
+                  flow_impl: str = "reference",
+                  ib_contention: bool = True,
+                  trace: bool = False, **overrides: Any) -> "ClusterSpec":
+    """A :class:`~repro.core.cluster.ClusterSpec` by keyword.
+
+    ``flow_impl`` selects the flow-level engines: ``"reference"`` (the
+    scalar models the tests were written against) or ``"fast"`` (pooled
+    and vectorised, bit-identical — required for 1024-node projection
+    work).  Extra keywords pass through to the spec (``dv``, ``ib``,
+    ``node`` configs).
+    """
+    from repro.core.cluster import ClusterSpec
+    return ClusterSpec(n_nodes=n_nodes, seed=seed, flow_impl=flow_impl,
+                       ib_contention=ib_contention, trace=trace,
+                       **overrides)
+
+
+# ---------------------------------------------------------- experiments ---
+
+def run_figure(*, exp_id: Optional[str] = None,
+               spec: Optional[ExperimentSpec] = None,
+               options: Optional[RunOptions] = None,
+               **params: Any) -> "Table":
+    """Regenerate one paper figure's table.
+
+    Pass either ``exp_id`` plus runner keywords, or a prebuilt
+    :class:`ExperimentSpec`.  With a cache in ``options`` the whole
+    figure is memoised under (id, params, repro version).
+    """
+    if (exp_id is None) == (spec is None):
+        raise ValueError("pass exactly one of exp_id= or spec=")
+    if spec is not None:
+        if params:
+            raise ValueError("params go inside ExperimentSpec when "
+                             "spec= is used")
+        exp_id, params = spec.exp_id, dict(spec.params)
+    from repro.core.experiments import run_experiment
+    return run_experiment(exp_id, executor=_executor(options), **params)
+
+
+def run_figures(*, exp_ids: Sequence[str],
+                options: Optional[RunOptions] = None,
+                **params: Any) -> Dict[str, "Table"]:
+    """Several figures at once, fanned across the options' worker pool
+    (each figure is one point)."""
+    from repro.core.experiments import run_experiments
+    return run_experiments(exp_ids, executor=_executor(options),
+                           **params)
+
+
+def run_sweep(*, name: str,
+              axes: Optional[Mapping[str, Sequence[Any]]] = None,
+              fixed: Optional[Mapping[str, Any]] = None,
+              options: Optional[RunOptions] = None) -> "Table":
+    """One named parameter sweep (see
+    :data:`repro.core.sweep.NAMED_SWEEPS`) as a rendered table."""
+    from repro.core.sweep import NAMED_SWEEPS, named_sweep
+    if name not in NAMED_SWEEPS:
+        raise KeyError(f"unknown sweep {name!r}; known: "
+                       f"{', '.join(sorted(NAMED_SWEEPS))}")
+    spec = NAMED_SWEEPS[name]
+    sw = named_sweep(name, axes=dict(axes) if axes else None,
+                     fixed=dict(fixed) if fixed else None)
+    return sw.run_table(spec["title"], spec["columns"],
+                        executor=_executor(options))
+
+
+def run_scaleout(*, workloads: Optional[Sequence[str]] = None,
+                 nodes: Optional[Sequence[int]] = None,
+                 fabrics: Optional[Sequence[str]] = None,
+                 seed: int = 2017, flow_impl: str = "fast",
+                 plan: Optional["FaultPlan"] = None,
+                 options: Optional[RunOptions] = None,
+                 **overrides: Any) -> "Table":
+    """The 64-1024-node cluster projection (the ``fig_scaleout``
+    experiment family).
+
+    Sweeps GUPS, BFS and FFT across node counts on both fabrics using
+    the pooled fast flow engines; a :class:`~repro.faults.FaultPlan`
+    installs per point (worker-safe).  The full default grid takes tens
+    of minutes serial — pass ``options=RunOptions(workers=N)`` and a
+    cache to make iteration cheap.
+    """
+    from repro.core.experiments import REGISTRY
+    kwargs: Dict[str, Any] = dict(seed=seed, flow_impl=flow_impl,
+                                  **overrides)
+    if workloads is not None:
+        kwargs["workloads"] = tuple(workloads)
+    if nodes is not None:
+        kwargs["nodes"] = tuple(nodes)
+    if fabrics is not None:
+        kwargs["fabrics"] = tuple(fabrics)
+    if plan is not None:
+        kwargs["plan"] = plan
+    # the sweep fans its own points; an outer figure-level executor
+    # would only add a pool-in-pool layer, so the options thread
+    # through to the per-point executor instead
+    return REGISTRY["fig_scaleout"].runner(executor=_executor(options),
+                                           **kwargs)
+
+
+def verify_goldens(*, mode: str = "compare",
+                   figs: Optional[Sequence[str]] = None,
+                   goldens_dir: str = "goldens",
+                   axes: Sequence[str] = (),
+                   options: Optional[RunOptions] = None) -> GoldenVerdict:
+    """The golden-results gate, as a library call.
+
+    ``mode="compare"`` recomputes the pinned figure configs and diffs
+    them cell-by-cell against the committed snapshots (plus the
+    four-axis determinism harness for any requested ``axes``);
+    ``mode="record"`` refreshes the snapshots instead.
+    """
+    from repro.golden import (GOLDEN_CONFIGS, GoldenStore,
+                              compare_goldens, record_goldens,
+                              run_harness)
+    if mode not in ("compare", "record"):
+        raise ValueError(f'mode must be "compare" or "record", '
+                         f'got {mode!r}')
+    figs = list(figs) if figs else sorted(GOLDEN_CONFIGS)
+    unknown = [f for f in figs if f not in GOLDEN_CONFIGS]
+    if unknown:
+        raise KeyError(f"no golden config for {', '.join(unknown)}; "
+                       f"known: {', '.join(sorted(GOLDEN_CONFIGS))}")
+    store = GoldenStore(goldens_dir)
+    executor = _executor(options)
+    if mode == "record":
+        paths = record_goldens(store, figs, executor)
+        return GoldenVerdict(ok=True, recorded=paths)
+    reports = tuple(compare_goldens(store, figs, executor))
+    axis_reports = tuple(run_harness(figs, list(axes))) if axes else ()
+    ok = all(r.ok for r in reports) and all(r.ok for r in axis_reports)
+    return GoldenVerdict(ok=ok, reports=reports,
+                         axis_reports=axis_reports)

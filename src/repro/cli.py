@@ -10,6 +10,7 @@ Usage::
     python -m repro.cli scaling --workers 4 --cache .repro-cache
     python -m repro.cli figures --figs fig4,fig6 --workers 2
     python -m repro.cli sweep --name gups --nodes 4,8,16
+    python -m repro.cli scaleout --nodes 64,128,256,512,1024 --workers 4
     python -m repro.cli cache --cache .repro-cache   # stats / --clear
     python -m repro.cli faults --drops 0,0.02,0.05 --workloads gups
     python -m repro.cli verify --compare             # golden gate (CI)
@@ -21,6 +22,11 @@ rendering the benchmark harness emits).  ``--workers N`` fans
 independent points across a process pool and ``--cache DIR`` memoises
 finished points on disk; both leave the printed tables bit-identical
 to a serial, uncached run (see docs/execution.md).
+
+The experiment-shaped subcommands (``figures``, ``sweep``,
+``scaleout``, ``verify``) are thin shells over :mod:`repro.api` — the
+stable keyword-only facade; scripts should import that rather than
+shelling out (see docs/api.md).
 """
 
 from __future__ import annotations
@@ -37,10 +43,15 @@ def _nodes_list(text: str) -> List[int]:
     return [int(x) for x in text.split(",") if x]
 
 
+def _options(args) -> "RunOptions":
+    """The :class:`repro.api.RunOptions` this invocation describes."""
+    import repro.api as api
+    return api.RunOptions(workers=args.workers, cache_dir=args.cache)
+
+
 def _executor(args):
     """The Executor the run's subcommand routes through."""
-    from repro.exec import Executor
-    return Executor(workers=args.workers, cache_dir=args.cache)
+    return _options(args).executor()
 
 
 def cmd_fig3(args) -> Table:
@@ -190,26 +201,40 @@ def cmd_scaling(args) -> Table:
 
 
 def cmd_sweep(args) -> Table:
-    from repro.core.sweep import NAMED_SWEEPS, named_sweep
-    if args.name not in NAMED_SWEEPS:
-        print(f"unknown sweep {args.name!r}; known: "
-              f"{', '.join(sorted(NAMED_SWEEPS))}", file=sys.stderr)
+    import repro.api as api
+    try:
+        return api.run_sweep(name=args.name,
+                             axes={"nodes": args.nodes}
+                             if args.nodes else None,
+                             fixed={"seed": args.seed},
+                             options=_options(args))
+    except KeyError as err:
+        print(f"sweep: {err.args[0]}", file=sys.stderr)
         raise SystemExit(2)
-    spec = NAMED_SWEEPS[args.name]
-    sw = named_sweep(args.name,
-                     axes={"nodes": args.nodes} if args.nodes else None,
-                     fixed={"seed": args.seed})
-    return sw.run_table(spec["title"], spec["columns"],
-                        executor=_executor(args))
 
 
 def cmd_figures(args):
-    from repro.core.experiments import REGISTRY, run_experiments
+    import repro.api as api
+    from repro.core.experiments import REGISTRY
     figs = args.figs or sorted(
-        e for e, x in REGISTRY.items() if x.runner is not None)
-    tables = run_experiments(figs, executor=_executor(args),
+        e for e, x in REGISTRY.items()
+        if x.runner is not None and e != "fig_scaleout")
+    tables = api.run_figures(exp_ids=figs, options=_options(args),
                              seed=args.seed)
     return list(tables.values())
+
+
+def cmd_scaleout(args) -> Table:
+    """The 64-1024-node cluster projection (fig_scaleout): GUPS, BFS
+    and FFT on both fabrics over the pooled fast flow engines.  The
+    full five-doubling grid takes tens of minutes serial — pass
+    ``--workers``/``--cache``, or trim ``--nodes``/``--workloads``."""
+    import repro.api as api
+    return api.run_scaleout(workloads=tuple(args.workloads),
+                            nodes=tuple(args.nodes),
+                            fabrics=tuple(args.fabrics),
+                            seed=args.seed, flow_impl=args.flow_impl,
+                            options=_options(args))
 
 
 def cmd_faults(args) -> Table:
@@ -227,15 +252,13 @@ def cmd_verify(args) -> int:
     """Golden-results gate: record or compare figure snapshots, run the
     four-axis determinism harness, and track flow-vs-cycle calibration
     drift.  See docs/ci.md for the workflow."""
-    from repro.golden import (AXES, GOLDEN_CONFIGS, GoldenStore,
-                              append_record, compare_goldens,
-                              drift_record, load_series, record_goldens,
-                              run_harness)
+    import repro.api as api
+    from repro.golden import (AXES, GOLDEN_CONFIGS, append_record,
+                              drift_record, load_series)
     if args.record and args.compare:
         print("verify: --record and --compare are mutually exclusive",
               file=sys.stderr)
         return 2
-    store = GoldenStore(args.goldens)
     figs = args.figs or sorted(GOLDEN_CONFIGS)
     unknown = [f for f in figs if f not in GOLDEN_CONFIGS]
     if unknown:
@@ -243,22 +266,18 @@ def cmd_verify(args) -> int:
               f"known: {', '.join(sorted(GOLDEN_CONFIGS))}",
               file=sys.stderr)
         return 2
-    executor = _executor(args)
+    options = _options(args)
 
     if args.record:
-        paths = record_goldens(store, figs, executor)
-        for fig, path in sorted(paths.items()):
+        verdict = api.verify_goldens(mode="record", figs=figs,
+                                     goldens_dir=args.goldens,
+                                     options=options)
+        for fig, path in sorted(verdict.recorded.items()):
             print(f"recorded {fig}: {path}")
-        drift_path = append_record(store.root, drift_record())
+        drift_path = append_record(args.goldens, drift_record())
         print(f"appended drift record: {drift_path} "
-              f"({len(load_series(store.root))} entries)")
+              f"({len(load_series(args.goldens))} entries)")
         return 0
-
-    failed = False
-    print(f"== golden compare ({store.root}) ==")
-    for report in compare_goldens(store, figs, executor):
-        print(report.describe())
-        failed |= not report.ok
 
     axes = [] if args.axes == ["none"] else \
         (list(AXES) if args.axes in (None, ["all"]) else args.axes)
@@ -267,13 +286,19 @@ def cmd_verify(args) -> int:
         print(f"verify: unknown axes {', '.join(bad_axes)}; "
               f"known: {', '.join(AXES)} (or 'none')", file=sys.stderr)
         return 2
+    verdict = api.verify_goldens(mode="compare", figs=figs,
+                                 goldens_dir=args.goldens, axes=axes,
+                                 options=options)
+    failed = not verdict.ok
+    print(f"== golden compare ({args.goldens}) ==")
+    for report in verdict.reports:
+        print(report.describe())
     if axes:
         print(f"== determinism harness (axes: {', '.join(axes)}) ==")
-        for report in run_harness(figs, axes):
+        for report in verdict.axis_reports:
             print(report.describe())
-            failed |= not report.ok
 
-    series = load_series(store.root)
+    series = load_series(args.goldens)
     if series:
         from repro.golden import measure_scenarios
         last = series[-1]["scenarios"]
@@ -314,6 +339,7 @@ COMMANDS = {
     "chase": cmd_chase,
     "spmv": cmd_spmv,
     "scaling": cmd_scaling,
+    "scaleout": cmd_scaleout,
     "sweep": cmd_sweep,
     "figures": cmd_figures,
     "cache": cmd_cache,
@@ -333,8 +359,9 @@ def build_parser() -> argparse.ArgumentParser:
                    version=f"repro {__version__}")
     p.add_argument("command", choices=[*COMMANDS, "list"],
                    help="figure to regenerate (or 'list')")
-    p.add_argument("--nodes", type=_nodes_list, default=[4, 8, 16, 32],
-                   help="comma-separated node counts (default 4,8,16,32)")
+    p.add_argument("--nodes", type=_nodes_list, default=None,
+                   help="comma-separated node counts (default 4,8,16,32; "
+                        "scaleout: 64,128,256)")
     p.add_argument("--seed", type=int, default=2017)
     p.add_argument("--iters", type=int, default=8,
                    help="iterations for micro-benchmarks")
@@ -367,8 +394,18 @@ def build_parser() -> argparse.ArgumentParser:
                         "probabilities")
     p.add_argument("--workloads",
                    type=lambda s: [x for x in s.split(",") if x],
-                   default=["gups", "bfs"],
-                   help="faults: comma-separated workloads (gups,bfs)")
+                   default=None,
+                   help="comma-separated workloads (faults: gups,bfs; "
+                        "scaleout: gups,bfs,fft)")
+    p.add_argument("--fabrics",
+                   type=lambda s: [x for x in s.split(",") if x],
+                   default=["dv", "mpi"],
+                   help="scaleout: comma-separated fabrics "
+                        "(default dv,mpi)")
+    p.add_argument("--flow-impl", choices=["reference", "fast"],
+                   default="fast", dest="flow_impl",
+                   help="scaleout: flow-engine implementation "
+                        "(default fast; both are bit-identical)")
     p.add_argument("--clear", action="store_true",
                    help="cache: delete all entries instead of printing "
                         "stats")
@@ -396,6 +433,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.nodes is None:
+        args.nodes = ([64, 128, 256] if args.command == "scaleout"
+                      else [4, 8, 16, 32])
+    if args.workloads is None:
+        args.workloads = (["gups", "bfs", "fft"]
+                          if args.command == "scaleout"
+                          else ["gups", "bfs"])
     if args.command == "list":
         for name in COMMANDS:
             print(name)

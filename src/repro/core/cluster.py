@@ -18,9 +18,11 @@ from repro.core.trace import Tracer
 from repro.dv.api import DataVortexAPI
 from repro.dv.barrier import FastBarrier, HardwareBarrier
 from repro.dv.config import DVConfig
+from repro.dv.fastflow import FastFlowNetwork
 from repro.dv.flow import FlowNetwork
 from repro.dv.vic import VIC
 from repro.ib.config import IBConfig
+from repro.ib.fastfabric import FastIBFabric
 from repro.ib.mpi import MPIRuntime
 from repro.sim.engine import Engine
 
@@ -40,10 +42,19 @@ class ClusterSpec:
     trace: bool = False
     #: toggle the fat-tree static-routing contention model (ablation)
     ib_contention: bool = True
+    #: flow-network implementation: ``"reference"`` (scalar, the model
+    #: the tests were written against) or ``"fast"`` (pooled/vectorised,
+    #: bit-identical — see :mod:`repro.dv.fastflow`); applies to both
+    #: fabrics' flow-level models
+    flow_impl: str = "reference"
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
             raise ValueError("n_nodes must be >= 1")
+        if self.flow_impl not in ("reference", "fast"):
+            raise ValueError(
+                f'flow_impl must be "reference" or "fast", '
+                f'got {self.flow_impl!r}')
 
     @staticmethod
     def paper_testbed(**overrides) -> "ClusterSpec":
@@ -95,7 +106,9 @@ def run_spmd(spec: ClusterSpec, program: Program, fabric: str = "dv",
     contexts: List[RankContext] = []
     net_stats: Any = None
     if fabric == "dv":
-        network = FlowNetwork(engine, spec.dv, n)
+        net_cls = (FastFlowNetwork if spec.flow_impl == "fast"
+                   else FlowNetwork)
+        network = net_cls(engine, spec.dv, n)
         vics = [VIC(engine, spec.dv, i, network) for i in range(n)]
         apis = [DataVortexAPI(engine, spec.dv, v, network) for v in vics]
         hw_barrier = HardwareBarrier(engine, spec.dv, vics, network)
@@ -108,8 +121,11 @@ def run_spmd(spec: ClusterSpec, program: Program, fabric: str = "dv",
                                         spec.seed, dv=apis[r]))
         net_stats = network.stats
     else:
+        fabric_cls = (FastIBFabric if spec.flow_impl == "fast"
+                      else None)
         runtime = MPIRuntime(engine, spec.ib, n,
-                             contention=spec.ib_contention)
+                             contention=spec.ib_contention,
+                             fabric_cls=fabric_cls)
         for r in range(n):
             contexts.append(RankContext(engine, r, n, spec.node, tracer,
                                         spec.seed, mpi=runtime.endpoint(r)))

@@ -113,6 +113,40 @@ def _run_fig9(seed: int = 2017, n_nodes: int = 32) -> Table:
     return t
 
 
+def _run_fig_scaleout(seed: int = 2017, nodes=None, workloads=None,
+                      fabrics=None, flow_impl: str = "fast",
+                      executor=None, **overrides) -> Table:
+    """The 64-1024-node cluster projection (§IX extended).
+
+    Rides :func:`repro.core.scaling.scaleout_sweep`: every point runs
+    the pooled ``flow_impl="fast"`` engines and fans across the
+    executor's worker pool / result cache.
+    """
+    from repro.core import scaling
+    nodes = tuple(nodes) if nodes else scaling.SCALEOUT_NODES
+    workloads = (tuple(workloads) if workloads
+                 else scaling.SCALEOUT_WORKLOADS)
+    fabrics = tuple(fabrics) if fabrics else scaling.SCALEOUT_FABRICS
+    rows = scaling.scaleout_sweep(workloads=workloads, nodes=nodes,
+                                  fabrics=fabrics, seed=seed,
+                                  flow_impl=flow_impl, executor=executor,
+                                  **overrides)
+    by_key = {(r["workload"], r["nodes"], r["fabric"]): r for r in rows}
+    t = Table("fig_scaleout: projected per-PE and aggregate rates "
+              "(GUPS: MUPS, BFS: MTEPS, FFT: GFLOPS)",
+              ["workload", "nodes", "dv_per_pe", "mpi_per_pe",
+               "dv_total", "mpi_total"])
+    for w in workloads:
+        for n in nodes:
+            cells = []
+            for col in ("per_pe", "total"):
+                for f in ("dv", "mpi"):
+                    r = by_key.get((w, n, f))
+                    cells.append(float("nan") if r is None else r[col])
+            t.add_row(w, n, *cells)
+    return t
+
+
 REGISTRY: Dict[str, Experiment] = {
     e.exp_id: e for e in [
         Experiment(
@@ -185,6 +219,16 @@ REGISTRY: Dict[str, Experiment] = {
             "benchmarks/test_fig9_apps.py",
             "SNAP ~1.19x; restructured apps 2.46x-3.41x",
             _run_fig9),
+        Experiment(
+            "fig_scaleout", "cluster projection: 64-1024 nodes",
+            "GUPS/BFS/FFT weak scaling on both fabrics, 64..1024 "
+            "nodes, pooled fast flow engines",
+            ("repro.core.scaling", "repro.dv.fastflow",
+             "repro.ib.fastfabric"),
+            "benchmarks/test_perf_regression.py",
+            "per-PE DV rates stay near-flat across five doublings; "
+            "MPI per-PE rates decay (SS IX extended)",
+            _run_fig_scaleout),
     ]
 }
 

@@ -15,11 +15,20 @@ This module develops exactly that simulation, at two levels:
   (expected: flat);
 * :func:`cluster_scaling` — flow-level clusters beyond the paper's 32
   nodes running the barrier and GUPS kernels, checking that the flat
-  barrier and per-PE GUPS curves extend.
+  barrier and per-PE GUPS curves extend;
+* :func:`scaleout_sweep` — the full cluster projection: GUPS, BFS and
+  FFT on **both** fabrics from 64 up to 1024 nodes, riding the pooled
+  ``flow_impl="fast"`` engines (:mod:`repro.dv.fastflow` /
+  :mod:`repro.ib.fastfabric`) that make thousand-node flow simulation
+  tractable.  Points fan across an :class:`~repro.exec.Executor` pool
+  and memoise in its cache; a :class:`~repro.faults.FaultPlan` can be
+  installed per point (plans are applied *inside* the point so they
+  survive the trip into pool workers).
 """
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
@@ -151,3 +160,109 @@ def cluster_scaling(node_counts: Sequence[int] = (8, 16, 32, 64, 128),
     grid = [{"n_nodes": n, "seed": seed} for n in node_counts]
     rows = executor.map(cluster_scale_point, grid)
     return {n: row for n, row in zip(node_counts, rows)}
+
+
+# ------------------------------------------------- scale-out projection ---
+
+#: Node counts of the cluster projection (§IX extended to a full rack
+#: row: five doublings past the 32-node testbed).
+SCALEOUT_NODES = (64, 128, 256, 512, 1024)
+
+#: Workloads of the projection — the paper's three irregular kernels.
+SCALEOUT_WORKLOADS = ("gups", "bfs", "fft")
+
+SCALEOUT_FABRICS = ("dv", "mpi")
+
+
+def scaleout_params(workload: str, n_nodes: int) -> Dict[str, int]:
+    """Default kernel parameters for one projection point.
+
+    Weak scaling, shrunk so the full 64-to-1024-node sweep stays
+    tractable on a laptop: GUPS keeps a fixed per-node table and update
+    count; BFS grows the Kronecker scale with ``log2(P)`` (constant
+    vertices per node); FFT holds the smallest problem the four-step
+    factorisation admits at each node count (``n1`` and ``n2`` must both
+    divide by ``P``).
+    """
+    if workload == "gups":
+        return {"table_words": 1 << 12, "n_updates": 1 << 7,
+                "window": 256}
+    if workload == "bfs":
+        return {"scale": 6 + int(math.log2(n_nodes)), "n_roots": 1}
+    if workload == "fft":
+        return {"log2_points": max(16, 2 * math.ceil(math.log2(n_nodes)))}
+    raise ValueError(f"unknown scale-out workload {workload!r}; "
+                     f"known: {SCALEOUT_WORKLOADS}")
+
+
+def scaleout_point(workload: str, fabric: str, n_nodes: int,
+                   seed: int = 2017, flow_impl: str = "fast",
+                   plan: Optional["FaultPlan"] = None,
+                   **overrides) -> Dict[str, float]:
+    """One (workload, fabric, node-count) projection point.
+
+    Module-level and seeded from its own parameters so the grid pickles
+    into pool workers and memoises in the result cache.  ``plan`` (a
+    :class:`~repro.faults.FaultPlan`) is installed around the kernel run
+    *here*, inside the point, so fault studies work identically under a
+    serial executor and a process pool.  Returns ``per_pe`` and
+    ``total`` in the workload's natural rate unit (MUPS, MTEPS or
+    GFLOPS) plus the simulated ``elapsed_s``.
+    """
+    from repro import faults
+    from repro.kernels import run_bfs, run_fft1d, run_gups
+
+    params = scaleout_params(workload, n_nodes)
+    params.update(overrides)
+    spec = ClusterSpec(n_nodes=n_nodes, seed=seed, flow_impl=flow_impl)
+    with faults.session(plan) if plan is not None else _null():
+        if workload == "gups":
+            r = run_gups(spec, fabric, **params)
+            per_pe, total = r["mups_per_pe"], r["mups_total"]
+        elif workload == "bfs":
+            r = run_bfs(spec, fabric, **params)
+            total = r["harmonic_teps"] / 1e6
+            per_pe = total / n_nodes
+        else:
+            r = run_fft1d(spec, fabric, **params)
+            total = r["gflops"]
+            per_pe = total / n_nodes
+    return {"workload": workload, "fabric": fabric, "nodes": n_nodes,
+            "per_pe": per_pe, "total": total,
+            "elapsed_s": r["elapsed_s"]}
+
+
+class _null:
+    """Minimal no-op context (``contextlib.nullcontext`` without the
+    import at module scope)."""
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+def scaleout_sweep(workloads: Sequence[str] = SCALEOUT_WORKLOADS,
+                   nodes: Sequence[int] = SCALEOUT_NODES,
+                   fabrics: Sequence[str] = SCALEOUT_FABRICS,
+                   seed: int = 2017, flow_impl: str = "fast",
+                   plan: Optional["FaultPlan"] = None,
+                   executor: Optional["Executor"] = None,
+                   **overrides) -> List[Dict[str, float]]:
+    """The cluster projection grid: workloads x nodes x fabrics.
+
+    Fans every point across the executor's worker pool and memoises in
+    its cache (each point's identity is its full parameter set, so a
+    re-run of an already-swept grid performs zero simulation work).
+    Returns one row dict per point, ordered workload-major then
+    node-count then fabric.  The full default grid — three workloads,
+    five node counts to 1024, both fabrics — takes tens of minutes
+    serial; use ``Executor(workers=N)`` to spread it.
+    """
+    from repro.exec import Executor
+    executor = executor or Executor()
+    grid = [{"workload": w, "fabric": f, "n_nodes": n, "seed": seed,
+             "flow_impl": flow_impl, "plan": plan, **overrides}
+            for w in workloads for n in nodes for f in fabrics]
+    return executor.map(scaleout_point, grid, name="scaling.scaleout")

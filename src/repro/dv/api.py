@@ -33,6 +33,7 @@ from repro.dv.config import DVConfig, PACKET_BYTES, WORD_BYTES
 from repro.dv.vic import (CounterDec, CounterSet, FifoPush, MemWrite, Query,
                           VIC)
 from repro.sim.engine import Engine
+from repro.sim.events import CompletionEvent
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.dv.barrier import FastBarrier, HardwareBarrier
@@ -142,14 +143,16 @@ class DataVortexAPI:
         events = []
         if aggregate_source:
             # One PCIe crossing for the whole batch, then per-dest groups
-            # stream into the switch back to back.
-            for d, lo, hi in zip(uniq, starts, bounds):
-                events.append(self.network.transmit(
-                    self.rank, int(d), int(hi - lo),
-                    payload=MemWrite(addrs=addrs_s[lo:hi],
-                                     values=values_s[lo:hi],
-                                     counter=counter),
-                    inject_rate=rate))
+            # stream into the switch back to back (batched: the fast
+            # flow engine prices the whole fan-out vectorised).
+            group_counts = np.diff(np.append(starts, dests_s.size))
+            group_payloads = [MemWrite(addrs=addrs_s[lo:hi],
+                                       values=values_s[lo:hi],
+                                       counter=counter)
+                              for lo, hi in zip(starts, bounds)]
+            events = self.network.transmit_batch(
+                self.rank, uniq, group_counts, group_payloads,
+                inject_rate=rate)
             yield from self._charge_tx(via, dests.size, cached_headers)
         else:
             for d, lo, hi in zip(uniq, starts, bounds):
@@ -317,10 +320,18 @@ class DataVortexAPI:
     # ------------------------------------------------------------ barriers --
     def barrier(self) -> Generator:
         """Hardware global barrier (the dvapi intrinsic, 2 reserved
-        counters)."""
+        counters).  The generator's value is a (pre-fired)
+        :class:`~repro.sim.events.CompletionEvent` — the same shape
+        :meth:`MPIEndpoint.barrier <repro.ib.mpi.MPIEndpoint.barrier>`
+        returns, so fabric-generic drivers can treat both alike."""
         if self.hw_barrier is None:
             raise RuntimeError("barrier not wired; use a Cluster")
         yield from self.hw_barrier.enter(self.rank)
+        done = CompletionEvent(self.engine, fabric="dv", op="barrier",
+                               src=self.rank,
+                               name=f"dv:barrier @{self.rank}")
+        done.succeed(None)
+        return done
 
     def fast_barrier(self) -> Generator:
         """The paper's in-house all-to-all "Fast Barrier"."""

@@ -72,7 +72,25 @@ class DVMemory:
         values = np.asarray(values, dtype=np.uint64)
         if addrs.shape != values.shape:
             raise ValueError("addrs and values must have identical shapes")
-        self._check(addrs)
+        if addrs.ndim == 0:
+            addrs = addrs.reshape(1)
+            values = values.reshape(1)
+        if addrs.size == 0:
+            return
+        lo, hi = int(addrs.min()), int(addrs.max())
+        if lo < 0 or hi >= self.n_words:
+            raise IndexError(
+                f"DV memory address out of range: [{lo}, {hi}] "
+                f"vs capacity {self.n_words} words")
+        clo = lo // _CHUNK_WORDS
+        if clo == hi // _CHUNK_WORDS:
+            # common case: the whole batch lands in one chunk (fancy
+            # assignment already gives later-entry-wins on duplicates)
+            chunk = self._chunks.get(clo)
+            if chunk is None:
+                chunk = self._chunks[clo] = np.zeros(_CHUNK_WORDS, np.uint64)
+            chunk[addrs % _CHUNK_WORDS] = values
+            return
         order = np.argsort(addrs // _CHUNK_WORDS, kind="stable")
         addrs, values = addrs[order], values[order]
         bounds = np.flatnonzero(np.diff(addrs // _CHUNK_WORDS)) + 1

@@ -18,6 +18,8 @@ from repro.obs import registry as obsreg
 from repro.sim.engine import Engine
 from repro.sim.events import Event
 
+_U64 = np.dtype(np.uint64)
+
 
 class FifoOverflow(RuntimeError):
     """Raised in strict mode when the surprise FIFO overflows."""
@@ -69,7 +71,9 @@ class SurpriseFIFO:
 
         Returns the number of words accepted.
         """
-        values = np.atleast_1d(np.asarray(values, dtype=np.uint64))
+        if not (type(values) is np.ndarray and values.ndim == 1
+                and values.dtype == _U64):
+            values = np.atleast_1d(np.asarray(values, dtype=np.uint64))
         room = self.capacity - self._n_words
         if values.size > room:
             if self.strict:
@@ -91,7 +95,8 @@ class SurpriseFIFO:
             if self._obs_on:
                 self._m_pushed.inc(int(values.size))
                 self._m_occ.set_max(self._n_words)
-            self._wake()
+            if self._waiters:
+                self._wake()
         return values.size
 
     # -- host side ----------------------------------------------------------
@@ -103,6 +108,17 @@ class SurpriseFIFO:
         """Remove and return up to ``n`` words (all, if ``n`` is None)."""
         if n is None:
             n = self._n_words
+        if n >= self._n_words:
+            # full drain: concatenate once instead of shifting the
+            # segment list one entry at a time
+            if not self._segments:
+                return np.empty(0, np.uint64)
+            out_all = (self._segments[0] if len(self._segments) == 1
+                       else np.concatenate(self._segments))
+            self._segments.clear()
+            self._src_tags.clear()
+            self._n_words = 0
+            return out_all
         out = []
         taken = 0
         while self._segments and taken < n:

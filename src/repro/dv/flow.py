@@ -33,10 +33,55 @@ from repro.dv.vic import FifoPush, MemWrite
 from repro.faults import injector as fltreg
 from repro.obs import registry as obsreg
 from repro.sim.engine import Engine
-from repro.sim.events import Event
+from repro.sim.events import CompletionEvent, Event
 
 #: Signature of a port receiver: ``(src_port, payload, n_packets)``.
 Receiver = Callable[[int, Any, int], None]
+
+
+def apply_flow_faults(fsite, effect, src: int, dest: int,
+                      sent_at: float, now: float):
+    """Degrade a delivered data batch per the installed FaultPlan.
+
+    Only data-bearing effects (MemWrite/FifoPush) are degraded; control
+    packets (counter ops, queries, timing-only payloads) are modelled as
+    protected by link-level CRC retry, so barriers and counters stay
+    live under faults.  Returns the surviving effect, or None when the
+    entire batch was lost.  Shared by the reference and fast flow
+    engines — the RNG draw sequence per delivery is part of the
+    bit-identity contract between them.
+    """
+    if fsite.has_outages and (fsite.link_down(src, sent_at)
+                              or fsite.link_down(dest, now)):
+        return None
+    if isinstance(effect, MemWrite):
+        addrs = np.atleast_1d(np.asarray(effect.addrs))
+        values = np.atleast_1d(np.asarray(effect.values, np.uint64))
+        mask = fsite.keep_mask(addrs.size)
+        if mask is not None:
+            addrs = addrs[mask]
+            values = values[mask]
+            if addrs.size == 0:
+                return None
+        corrupted = fsite.corrupt_values(values)
+        if corrupted is not None:
+            values = corrupted
+        if mask is None and corrupted is None:
+            return effect
+        return MemWrite(addrs=addrs, values=values,
+                        counter=effect.counter)
+    values = np.atleast_1d(np.asarray(effect.values, np.uint64))
+    mask = fsite.keep_mask(values.size)
+    if mask is not None:
+        values = values[mask]
+        if values.size == 0:
+            return None
+    corrupted = fsite.corrupt_values(values)
+    if corrupted is not None:
+        values = corrupted
+    if mask is None and corrupted is None:
+        return effect
+    return FifoPush(values=values, counter=effect.counter)
 
 
 @dataclass
@@ -119,45 +164,9 @@ class FlowNetwork:
     # -- fault injection -------------------------------------------------------
     def _apply_faults(self, fsite, effect, src: int, dest: int,
                       sent_at: float):
-        """Degrade a delivered data batch per the installed FaultPlan.
-
-        Only data-bearing effects (MemWrite/FifoPush) are degraded;
-        control packets (counter ops, queries, timing-only payloads) are
-        modelled as protected by link-level CRC retry, so barriers and
-        counters stay live under faults.  Returns the surviving effect,
-        or None when the entire batch was lost.
-        """
-        if fsite.has_outages and (fsite.link_down(src, sent_at)
-                                  or fsite.link_down(dest, self.engine.now)):
-            return None
-        if isinstance(effect, MemWrite):
-            addrs = np.atleast_1d(np.asarray(effect.addrs))
-            values = np.atleast_1d(np.asarray(effect.values, np.uint64))
-            mask = fsite.keep_mask(addrs.size)
-            if mask is not None:
-                addrs = addrs[mask]
-                values = values[mask]
-                if addrs.size == 0:
-                    return None
-            corrupted = fsite.corrupt_values(values)
-            if corrupted is not None:
-                values = corrupted
-            if mask is None and corrupted is None:
-                return effect
-            return MemWrite(addrs=addrs, values=values,
-                            counter=effect.counter)
-        values = np.atleast_1d(np.asarray(effect.values, np.uint64))
-        mask = fsite.keep_mask(values.size)
-        if mask is not None:
-            values = values[mask]
-            if values.size == 0:
-                return None
-        corrupted = fsite.corrupt_values(values)
-        if corrupted is not None:
-            values = corrupted
-        if mask is None and corrupted is None:
-            return effect
-        return FifoPush(values=values, counter=effect.counter)
+        """See :func:`apply_flow_faults` (shared with the fast engine)."""
+        return apply_flow_faults(fsite, effect, src, dest, sent_at,
+                                 self.engine.now)
 
     def time_of_flight(self, src: int, dest: int, now: float) -> float:
         """Latency of the first packet of a transfer entering at ``now``."""
@@ -212,7 +221,9 @@ class FlowNetwork:
             self._m_transfers.inc()
             self._m_inj_wait.observe(inj_start - now)
 
-        done = self.engine.event(name=f"dv:tx {src}->{dest} x{n_packets}")
+        done = CompletionEvent(
+            self.engine, fabric="dv", op="transmit", src=src, dest=dest,
+            words=n_packets, name=f"dv:tx {src}->{dest} x{n_packets}")
         receiver = self._receivers[dest]
         fsite = self._faults
         sent_at = now
@@ -262,6 +273,35 @@ class FlowNetwork:
         self.engine._enqueue(marker, delay=first_arrival - now)
         return done
 
+    def transmit_batch(self, src: int, dests: Sequence[int],
+                       counts: Sequence[int], payloads: Sequence[Any],
+                       inject_rate: Optional[float] = None,
+                       collect: bool = True) -> List[Event]:
+        """Send per-destination packet groups back to back from ``src``.
+
+        Semantically identical to calling :meth:`transmit` once per
+        group, in order, at the current instant — which is exactly what
+        this reference implementation does.  The fast engine overrides
+        it with a vectorised path; kernels that fan one host batch out
+        to many destinations (GUPS epochs, counter exchanges) should
+        call this instead of looping so they pick the fast path up
+        automatically.
+
+        Returns the per-group completion events when ``collect`` is
+        true.  ``collect=False`` declares the caller fire-and-forget
+        (nothing will ever wait on the per-group events) and returns
+        ``[]``; the fast engine uses that licence to skip completion
+        bookkeeping entirely.
+        """
+        if not (len(dests) == len(counts) == len(payloads)):
+            raise ValueError("dests, counts, payloads must align")
+        events = [
+            self.transmit(src, int(d), int(c), payload=p,
+                          inject_rate=inject_rate)
+            for d, c, p in zip(dests, counts, payloads)
+        ]
+        return events if collect else []
+
     def scatter(self, src: int, dests: Sequence[int],
                 counts: Sequence[int], payloads: Sequence[Any],
                 inject_rate: Optional[float] = None) -> Event:
@@ -274,10 +314,6 @@ class FlowNetwork:
         destination.  Returns an event firing when every group has been
         delivered.
         """
-        if not (len(dests) == len(counts) == len(payloads)):
-            raise ValueError("dests, counts, payloads must align")
-        events = [
-            self.transmit(src, d, c, payload=p, inject_rate=inject_rate)
-            for d, c, p in zip(dests, counts, payloads)
-        ]
+        events = self.transmit_batch(src, dests, counts, payloads,
+                                     inject_rate=inject_rate)
         return self.engine.all_of(events)

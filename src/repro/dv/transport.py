@@ -262,7 +262,8 @@ class ReliableTransport:
             self.engine.process(self._pump(), name=f"transport{self.rank}")
 
     # -- sending -----------------------------------------------------------
-    def send(self, dest: int, words, tag: int = 0) -> Generator:
+    def send(self, dest: int, words, tag: int = 0, *,
+             _charge_overhead: bool = True) -> Generator:
         """Reliably deliver ``words`` (<= ``frame_words`` per call is
         typical; hard cap 2^24-1) into ``dest``'s transport inbox.
 
@@ -270,6 +271,8 @@ class ReliableTransport:
         ``send_fifo`` (API overhead + one PCIe crossing for the frame);
         the retry machinery runs VIC-side afterwards.  Returns the
         frame's delivery event — ``flush()`` waits on all of them.
+        ``_charge_overhead`` is internal: :meth:`send_batch` pays the
+        per-call API overhead once for the whole batch, not per frame.
         """
         if not 0 <= tag < 16:
             raise ValueError("tag must fit in 4 bits")
@@ -291,21 +294,31 @@ class ReliableTransport:
         if self._obs_on:
             self._m_sent.inc()
 
-        yield from self.api._overhead()
+        if _charge_overhead:
+            yield from self.api._overhead()
         self._transmit(pend)
         yield from self.api._charge_tx(self.config.via, frame.size, False)
         self._arm_timer(pend)
         return pend.event
 
     def send_batch(self, dest: int, words, tag: int = 0) -> Generator:
-        """Split a long payload into ``frame_words``-sized frames."""
+        """Split a long payload into ``frame_words``-sized frames.
+
+        One logical send is one API call: the fixed host-side overhead
+        is charged once here, however many frames the payload fragments
+        into.  (It used to be charged per frame, overstating the cost
+        of long sends by ``ceil(len/frame_words) - 1`` overheads.)
+        Each frame still pays its own PCIe crossing.
+        """
         payload = np.atleast_1d(np.asarray(words, dtype=np.uint64))
         if payload.size == 0:
             raise ValueError("empty send")
+        yield from self.api._overhead()
         step = self.config.frame_words
         events = []
         for lo in range(0, payload.size, step):
-            ev = yield from self.send(dest, payload[lo:lo + step], tag=tag)
+            ev = yield from self.send(dest, payload[lo:lo + step],
+                                      tag=tag, _charge_overhead=False)
             events.append(ev)
         return events
 

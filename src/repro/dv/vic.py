@@ -145,17 +145,16 @@ class VIC:
                 and isinstance(effect, (MemWrite, FifoPush))
                 and self._faults.node_down(self.vic_id, self.engine.now)):
             return  # VIC dark for data during a node-outage window
-        if isinstance(effect, MemWrite):
-            self.memory.scatter(np.atleast_1d(effect.addrs),
-                                np.atleast_1d(effect.values))
-            if self._obs_on:
-                self._m_mem_words.inc(effect.n_packets)
-            if effect.counter is not None:
-                self.counters.decrement(effect.counter, effect.n_packets)
-        elif isinstance(effect, FifoPush):
+        if isinstance(effect, FifoPush):
             self.fifo.push(effect.values, src=src)
             if self._obs_on:
                 self._m_fifo_words.inc(effect.n_packets)
+            if effect.counter is not None:
+                self.counters.decrement(effect.counter, effect.n_packets)
+        elif isinstance(effect, MemWrite):
+            self.memory.scatter(effect.addrs, effect.values)
+            if self._obs_on:
+                self._m_mem_words.inc(effect.n_packets)
             if effect.counter is not None:
                 self.counters.decrement(effect.counter, effect.n_packets)
         elif isinstance(effect, CounterSet):

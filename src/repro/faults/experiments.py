@@ -311,11 +311,12 @@ def degradation_point(*, workload: str, fabric: str, drop_prob: float,
                       edgefactor: int = 8) -> Dict[str, object]:
     """One (workload, fabric, drop rate) sample — picklable and
     JSON-native, so it caches and fans out through the Executor."""
+    import repro.api as api
     if workload not in ("gups", "bfs"):
         raise ValueError(f"unknown workload {workload!r}")
     if fabric not in ("dv", "ib"):
         raise ValueError(f"unknown fabric {fabric!r}")
-    spec = ClusterSpec(n_nodes=nodes, seed=seed)
+    spec = api.build_cluster(n_nodes=nodes, seed=seed)
     out: Dict[str, object] = {"workload": workload, "fabric": fabric,
                               "drop_prob": float(drop_prob),
                               "nodes": nodes}

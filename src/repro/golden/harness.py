@@ -56,6 +56,10 @@ GOLDEN_CONFIGS: Dict[str, Dict[str, Any]] = {
     "fig7": {"seed": GOLDEN_SEED, "nodes": (2, 4)},
     "fig8": {"seed": GOLDEN_SEED, "nodes": (2,)},
     "fig9": {"seed": GOLDEN_SEED, "n_nodes": 4},
+    # one small scale-out projection point: pins the fast flow engines
+    # (flow_impl="fast" is fig_scaleout's default) into the golden set
+    "fig_scaleout": {"seed": GOLDEN_SEED, "nodes": (64,),
+                     "workloads": ("gups",)},
 }
 
 #: The four determinism axes, in report order.
@@ -63,9 +67,14 @@ AXES: Tuple[str, ...] = ("workers", "cache", "obs", "faults")
 
 
 def _golden_point(fig: str, **params: Any) -> Table:
-    """Module-level runner so golden grids pickle into pool workers."""
-    from repro.core.experiments import REGISTRY
-    return REGISTRY[fig].runner(**params)
+    """Module-level runner so golden grids pickle into pool workers.
+
+    Routes through the :mod:`repro.api` facade (lazily — the facade
+    imports this module back for :func:`repro.api.verify_goldens`), so
+    the goldens pin exactly what the public surface computes.
+    """
+    import repro.api as api
+    return api.run_figure(exp_id=fig, **params)
 
 
 def _config_for(fig: str,

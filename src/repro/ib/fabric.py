@@ -23,7 +23,7 @@ from repro.faults import injector as fltreg
 from repro.ib.config import IBConfig
 from repro.obs import registry as obsreg
 from repro.sim.engine import Engine
-from repro.sim.events import Event
+from repro.sim.events import CompletionEvent, Event
 
 #: Receiver callback signature: (src, kind, payload, nbytes)
 Receiver = Callable[[int, str, Any, int], None]
@@ -151,7 +151,9 @@ class IBFabric:
             if cross:
                 self._m_cross.inc()
 
-        done = self.engine.event(name=f"ib:{kind} {src}->{dst}")
+        done = CompletionEvent(
+            self.engine, fabric="ib", op=kind, src=src, dest=dst,
+            nbytes=nbytes, name=f"ib:{kind} {src}->{dst}")
         receiver = self._receivers[dst] if dst < len(self._receivers) else None
 
         def _deliver(_ev: Event) -> None:

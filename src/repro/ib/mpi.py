@@ -15,6 +15,7 @@ moves actual data, so benchmark results can be validated numerically.
 from __future__ import annotations
 
 import itertools
+import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
@@ -24,7 +25,7 @@ from repro.ib.config import IBConfig
 from repro.ib.fabric import IBFabric
 from repro.obs import registry as obsreg
 from repro.sim.engine import Engine
-from repro.sim.events import Event
+from repro.sim.events import CompletionEvent, Event
 from repro.sim.resources import Resource
 
 ANY_SOURCE = -1
@@ -32,6 +33,28 @@ ANY_TAG = -1
 
 _CONTROL_BYTES = 64          # RTS / CTS control message size
 _COLLECTIVE_TAG_BASE = 1 << 24
+
+_MISSING = object()
+
+
+def _resolve_payload(payload: Any, data: Any, fn: str) -> Any:
+    """Accept the legacy ``data=`` keyword with a DeprecationWarning.
+
+    The fabrics share one message vocabulary (``dest``, ``payload``,
+    ``tag``, ``counter``); ``data=`` was the pre-unification spelling.
+    """
+    if data is not _MISSING:
+        if payload is not _MISSING:
+            raise TypeError(
+                f"{fn}() got both payload= and its deprecated alias "
+                f"data=")
+        warnings.warn(
+            f"MPIEndpoint.{fn}(data=...) is deprecated; "
+            f"use {fn}(payload=...)", DeprecationWarning, stacklevel=3)
+        return data
+    if payload is _MISSING:
+        raise TypeError(f"{fn}() missing required argument: 'payload'")
+    return payload
 
 
 def payload_nbytes(data: Any) -> int:
@@ -139,27 +162,48 @@ class MPIEndpoint:
             self._cpu.release()
 
     # -- point to point -----------------------------------------------------
-    def send(self, dest: int, data: Any, *, tag: int = 0,
-             nbytes: Optional[int] = None) -> Generator:
+    def send(self, dest: int, payload: Any = _MISSING, *, tag: int = 0,
+             nbytes: Optional[int] = None,
+             data: Any = _MISSING) -> Generator:
         """Blocking send (eager: returns after local handoff; rendezvous:
-        returns once the data transfer completes)."""
+        returns once the data transfer completes).
+
+        The generator's value is the fabric-level
+        :class:`~repro.sim.events.CompletionEvent` for the message —
+        the same completion vocabulary :meth:`DataVortexAPI.send_words
+        <repro.dv.api.DataVortexAPI.send_words>` returns on the DV side.
+        ``data=`` is the deprecated alias for ``payload=``.
+        """
+        payload = _resolve_payload(payload, data, "send")
+        return self._send(dest, payload, tag, nbytes)
+
+    def _send(self, dest: int, payload: Any, tag: int,
+              nbytes: Optional[int]) -> Generator:
         if dest == self.rank:
             # self-sends short-circuit through the unexpected queue
             if self._obs_on:
                 self._m_sends["self"].inc()
+            n = (nbytes if nbytes is not None
+                 else payload_nbytes(payload))
             yield from self._overhead()
-            self._on_fabric(self.rank, "eager", (tag, -1, data),
-                            nbytes if nbytes is not None
-                            else payload_nbytes(data))
-            return
-        n = payload_nbytes(data) if nbytes is None else int(nbytes)
+            self._on_fabric(self.rank, "eager", (tag, -1, payload), n)
+            done = CompletionEvent(self.engine, fabric="ib", op="self",
+                                   src=self.rank, dest=dest, tag=tag,
+                                   nbytes=n,
+                                   name=f"ib:self @{self.rank}")
+            done.succeed(None)
+            return done
+        n = payload_nbytes(payload) if nbytes is None else int(nbytes)
         yield from self._overhead()
         if n <= self.config.eager_threshold_bytes:
             if self._obs_on:
                 self._m_sends["eager"].inc()
-            self.fabric.transfer(self.rank, dest, n + _CONTROL_BYTES,
-                                 kind="eager", payload=(tag, -1, data))
-            return
+            done = self.fabric.transfer(self.rank, dest,
+                                        n + _CONTROL_BYTES,
+                                        kind="eager",
+                                        payload=(tag, -1, payload))
+            done.tag = tag      # fabric knows bytes; MPI supplies tags
+            return done
         # rendezvous
         if self._obs_on:
             self._m_sends["rendezvous"].inc()
@@ -171,8 +215,10 @@ class MPIEndpoint:
         yield cts
         yield self.engine.timeout(self.config.rendezvous_handshake_s)
         done = self.fabric.transfer(self.rank, dest, n, kind="rdata",
-                                    payload=(rts_id, data))
+                                    payload=(rts_id, payload))
+        done.tag = tag
         yield done
+        return done
 
     def recv(self, src: int = ANY_SOURCE, *, tag: int = ANY_TAG
              ) -> Generator:
@@ -209,11 +255,13 @@ class MPIEndpoint:
         """Non-blocking check for a matching pending message."""
         return any(self._matches(a, src, tag) for a in self._unexpected)
 
-    def isend(self, dest: int, data: Any, *, tag: int = 0,
-              nbytes: Optional[int] = None):
-        """Non-blocking send; returns a joinable process event."""
+    def isend(self, dest: int, payload: Any = _MISSING, *, tag: int = 0,
+              nbytes: Optional[int] = None, data: Any = _MISSING):
+        """Non-blocking send; returns a joinable process event.
+        ``data=`` is the deprecated alias for ``payload=``."""
+        payload = _resolve_payload(payload, data, "isend")
         return self.engine.process(
-            self.send(dest, data, tag=tag, nbytes=nbytes),
+            self._send(dest, payload, tag, nbytes),
             name=f"isend {self.rank}->{dest}")
 
     def irecv(self, src: int = ANY_SOURCE, *, tag: int = ANY_TAG):
@@ -221,11 +269,19 @@ class MPIEndpoint:
         return self.engine.process(self.recv(src, tag=tag),
                                    name=f"irecv @{self.rank}")
 
-    def sendrecv(self, dest: int, data: Any, src: int = ANY_SOURCE, *,
-                 sendtag: int = 0, recvtag: int = ANY_TAG,
-                 nbytes: Optional[int] = None) -> Generator:
-        """Simultaneous exchange (deadlock-free pairwise step)."""
-        s = self.isend(dest, data, tag=sendtag, nbytes=nbytes)
+    def sendrecv(self, dest: int, payload: Any = _MISSING,
+                 src: int = ANY_SOURCE, *, sendtag: int = 0,
+                 recvtag: int = ANY_TAG, nbytes: Optional[int] = None,
+                 data: Any = _MISSING) -> Generator:
+        """Simultaneous exchange (deadlock-free pairwise step).
+        ``data=`` is the deprecated alias for ``payload=``."""
+        payload = _resolve_payload(payload, data, "sendrecv")
+        return self._sendrecv(dest, payload, src, sendtag, recvtag,
+                              nbytes)
+
+    def _sendrecv(self, dest: int, payload: Any, src: int, sendtag: int,
+                  recvtag: int, nbytes: Optional[int]) -> Generator:
+        s = self.isend(dest, payload, tag=sendtag, nbytes=nbytes)
         r = self.irecv(src, tag=recvtag)
         got = yield r
         yield s
@@ -252,9 +308,17 @@ class MPIEndpoint:
         return result
 
     def barrier(self) -> Generator:
+        """Barrier across all ranks; the generator's value is a
+        (pre-fired) :class:`~repro.sim.events.CompletionEvent` — the
+        same shape the DV hardware barrier returns."""
         from repro.ib import collectives
         yield from self._timed_collective(
             "barrier", collectives.barrier(self))
+        done = CompletionEvent(self.engine, fabric="ib", op="barrier",
+                               src=self.rank,
+                               name=f"ib:barrier @{self.rank}")
+        done.succeed(None)
+        return done
 
     def bcast(self, data: Any, root: int = 0) -> Generator:
         from repro.ib import collectives
@@ -302,12 +366,14 @@ class MPIRuntime:
     """Owns the fabric and the per-rank endpoints."""
 
     def __init__(self, engine: Engine, config: IBConfig, n_ranks: int,
-                 contention: bool = True) -> None:
+                 contention: bool = True, fabric_cls=None) -> None:
         self.engine = engine
         self.config = config
         self.n_ranks = n_ranks
-        self.fabric = IBFabric(engine, config, n_ranks,
-                               contention=contention)
+        # fabric_cls lets the cluster layer swap in the pooled
+        # FastIBFabric (flow_impl="fast") without an import cycle here
+        self.fabric = (fabric_cls or IBFabric)(engine, config, n_ranks,
+                                               contention=contention)
         self.endpoints = [MPIEndpoint(self, r) for r in range(n_ranks)]
         self._rts_counter = itertools.count()
 

@@ -20,6 +20,27 @@ class SimulationError(RuntimeError):
     """Raised for engine misuse (e.g. running a finished simulation)."""
 
 
+class _Wakeup:
+    """Zero-payload heap entry invoking a bare callback when popped.
+
+    The pooled fast fabrics (:mod:`repro.dv.fastflow`,
+    :mod:`repro.ib.fastfabric`) schedule one of these per arrival or
+    ejection instead of a full :class:`Event` + closure pair; it shares
+    the heap with regular events (the engine only ever calls
+    ``_process``), so ordering between the two kinds is governed by the
+    usual ``(time, sequence)`` key.
+    """
+
+    __slots__ = ("fn", "args")
+
+    def __init__(self, fn, args) -> None:
+        self.fn = fn
+        self.args = args
+
+    def _process(self) -> None:
+        self.fn(*self.args)
+
+
 class Engine:
     """Deterministic discrete-event scheduler.
 
@@ -85,6 +106,23 @@ class Engine:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
         self._seq += 1
         heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+
+    def call_in(self, delay: float, fn, *args) -> None:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now.
+
+        A heap-only alternative to ``event + add_callback + _enqueue``
+        for hot paths: no :class:`Event` is allocated and nothing can
+        wait on the callback.  The sequence number is assigned *here*,
+        so a ``call_in`` issued at the same instant a reference
+        implementation would enqueue a marker event occupies the exact
+        same position among same-time events — the property the
+        fast/reference bit-identity guarantee rests on.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._queue,
+                       (self._now + delay, self._seq, _Wakeup(fn, args)))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""

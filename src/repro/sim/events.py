@@ -124,6 +124,45 @@ class Event:
         return f"<{label} {state} at {id(self):#x}>"
 
 
+class CompletionEvent(Event):
+    """Event describing the completion of one fabric operation.
+
+    Both fabric front-ends (:class:`repro.dv.api.DataVortexAPI` and
+    :class:`repro.ib.mpi.MPIEndpoint`) return these from their send and
+    barrier paths, so callers can introspect what finished without
+    caring which fabric ran it.  The success value remains the
+    operation's payload, exactly as with a plain :class:`Event` —
+    the metadata rides alongside and costs nothing to ignore.
+
+    Attributes
+    ----------
+    fabric:
+        ``"dv"`` or ``"ib"``.
+    op:
+        Operation kind (``"transmit"``, ``"send"``, ``"barrier"``, ...).
+    src, dest:
+        Endpoint indices (``-1`` when not applicable, e.g. barriers).
+    tag:
+        Message tag (IB) or counter index (DV); 0 when unused.
+    words, nbytes:
+        Payload size in 64-bit words (DV) / bytes (IB); 0 when unknown.
+    """
+
+    __slots__ = ("fabric", "op", "src", "dest", "tag", "words", "nbytes")
+
+    def __init__(self, engine: "Engine", *, fabric: str = "", op: str = "",
+                 src: int = -1, dest: int = -1, tag: int = 0,
+                 words: int = 0, nbytes: int = 0, name: str = "") -> None:
+        super().__init__(engine, name=name)
+        self.fabric = fabric
+        self.op = op
+        self.src = src
+        self.dest = dest
+        self.tag = tag
+        self.words = words
+        self.nbytes = nbytes
+
+
 class Timeout(Event):
     """Event that succeeds ``delay`` seconds after creation."""
 

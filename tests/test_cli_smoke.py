@@ -22,6 +22,7 @@ TINY = {
     "chase": ["--nodes", "2", "--hops", "8"],
     "spmv": ["--nodes", "2", "--scale", "6"],
     "scaling": ["--workers", "2"],
+    "scaleout": ["--nodes", "64", "--workloads", "gups"],
     "sweep": ["--name", "barrier", "--nodes", "2"],
     "figures": ["--figs", "fig4"],
     "obs": ["--nodes", "2"],

@@ -1,0 +1,160 @@
+"""The unified fabric vocabulary: payload keywords, CompletionEvents,
+and the deprecated ``data=`` forwarding shims.
+
+Both fabrics speak one message vocabulary — ``dest``, ``payload``,
+``tag``, ``counter`` — and point-to-point sends and barriers resolve to
+a common :class:`~repro.sim.events.CompletionEvent` carrying the fabric
+name, operation, endpoints and size.  The legacy ``data=`` spelling on
+the MPI side forwards with a DeprecationWarning.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.cluster import ClusterSpec, run_spmd
+from repro.sim.events import CompletionEvent
+
+
+def _collect(fabric, program):
+    """Run a 2-rank program; returns the per-rank generator values."""
+    spec = ClusterSpec(n_nodes=2)
+    return run_spmd(spec, program, fabric).values
+
+
+# ------------------------------------------------- completion events ---
+
+def test_mpi_send_returns_completion_event():
+    def program(ctx):
+        if ctx.rank == 0:
+            done = yield from ctx.mpi.send(1, np.arange(4), tag=9)
+            return done
+        got, src, tag = yield from ctx.mpi.recv(0)
+        return (src, tag)
+
+    done, meta = _collect("mpi", program)
+    assert isinstance(done, CompletionEvent)
+    assert (done.fabric, done.src, done.dest, done.tag) == ("ib", 0, 1, 9)
+    assert done.nbytes >= 32
+    assert meta == (0, 9)
+
+
+def test_mpi_self_send_returns_completion_event():
+    def program(ctx):
+        done = yield from ctx.mpi.send(ctx.rank, 17)
+        got, src, _ = yield from ctx.mpi.recv(ctx.rank)
+        return done, got
+
+    for done, got in _collect("mpi", program):
+        assert isinstance(done, CompletionEvent)
+        assert done.op == "self" and done.triggered
+        assert got == 17
+
+
+def test_mpi_rendezvous_send_returns_completion_event():
+    big = np.zeros(1 << 14, np.uint64)       # beyond eager threshold
+
+    def program(ctx):
+        if ctx.rank == 0:
+            done = yield from ctx.mpi.send(1, big)
+            return done
+        got, _, _ = yield from ctx.mpi.recv(0)
+        return got.size
+
+    done, size = _collect("mpi", program)
+    assert isinstance(done, CompletionEvent)
+    assert done.op == "rdata" and done.nbytes == big.nbytes
+    assert size == big.size
+
+
+@pytest.mark.parametrize("fabric", ["dv", "mpi"])
+def test_barriers_return_completion_events(fabric):
+    def program(ctx):
+        net = ctx.dv if fabric == "dv" else ctx.mpi
+        done = yield from net.barrier()
+        return done
+
+    for done in _collect(fabric, program):
+        assert isinstance(done, CompletionEvent)
+        assert done.op == "barrier" and done.triggered
+        assert done.fabric == ("dv" if fabric == "dv" else "ib")
+
+
+def test_dv_send_words_returns_completion_event():
+    def program(ctx):
+        done = None
+        if ctx.rank == 0:
+            done = yield from ctx.dv.send_words(
+                1, [3], np.array([7], np.uint64))
+            yield done
+        yield from ctx.dv.barrier()
+        return done
+
+    done, _ = _collect("dv", program)
+    assert isinstance(done, CompletionEvent)
+    assert (done.fabric, done.op) == ("dv", "transmit")
+    assert (done.src, done.dest, done.words) == (0, 1, 1)
+
+
+# ------------------------------------------------- deprecation shims ---
+
+def test_send_data_keyword_forwards_with_warning():
+    def program(ctx):
+        if ctx.rank == 0:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                gen = ctx.mpi.send(1, data=np.arange(3), tag=2)
+            assert any(issubclass(w.category, DeprecationWarning)
+                       and "payload=" in str(w.message) for w in caught)
+            done = yield from gen
+            return done
+        got, src, tag = yield from ctx.mpi.recv(0)
+        return got.tolist()
+
+    done, got = _collect("mpi", program)
+    assert isinstance(done, CompletionEvent)
+    assert got == [0, 1, 2]
+
+
+def test_isend_and_sendrecv_data_keyword_forward():
+    def program(ctx):
+        peer = 1 - ctx.rank
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            got = yield from ctx.mpi.sendrecv(peer, data=ctx.rank)
+        assert any(issubclass(w.category, DeprecationWarning)
+                   for w in caught)
+        val, src, _ = got
+        return (val, src)
+
+    assert _collect("mpi", program) == [(1, 1), (0, 0)]
+
+
+def test_payload_and_data_together_rejected():
+    def program(ctx):
+        with pytest.raises(TypeError, match="both payload="):
+            ctx.mpi.send(0, payload=1, data=2)
+        with pytest.raises(TypeError, match="missing required"):
+            ctx.mpi.send(0)
+        yield from ctx.mpi.barrier()
+
+    _collect("mpi", program)
+
+
+# ------------------------------------------------- keyword symmetry ---
+
+def test_send_keywords_are_symmetric():
+    """Both fabrics' send paths accept dest-first plus the shared
+    keyword names; no positional-only surprises."""
+    import inspect
+    from repro.dv.api import DataVortexAPI
+    from repro.ib.mpi import MPIEndpoint
+
+    mpi_params = inspect.signature(MPIEndpoint.send).parameters
+    assert list(mpi_params)[1:3] == ["dest", "payload"]
+    assert "tag" in mpi_params and "nbytes" in mpi_params
+
+    dv_params = inspect.signature(DataVortexAPI.send_words).parameters
+    assert list(dv_params)[1] == "dest"
+    assert "counter" in dv_params

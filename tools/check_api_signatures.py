@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Lint gate: the ``repro.api`` facade takes keyword-only arguments.
+
+Ruff has no rule for "public signatures must be keyword-only", so
+``make lint`` runs this instead (see the per-file-ignores note in
+pyproject.toml).  The check is pure AST — no imports of the package —
+and fails if any public (non-underscore) module-level function or
+public method in ``src/repro/api.py`` accepts positional arguments
+beyond ``self``:
+
+* no positional-only parameters (``def f(x, /)``);
+* no positional-or-keyword parameters (``def f(x)``) — everything
+  after ``self`` must sit behind a bare ``*`` or be ``**kwargs``;
+* ``*args`` is banned outright (it swallows positional calls).
+
+Exit status 0 when clean, 1 with one line per offence otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+API_FILE = pathlib.Path(__file__).resolve().parents[1] / "src/repro/api.py"
+
+
+def _offences(tree: ast.Module, path: pathlib.Path) -> list[str]:
+    out = []
+
+    def check(fn: ast.FunctionDef, owner: str = "") -> None:
+        if fn.name.startswith("_"):
+            return
+        name = f"{owner}{fn.name}"
+        args = fn.args
+        if args.posonlyargs:
+            out.append(f"{path}:{fn.lineno}: {name}: positional-only "
+                       f"parameters are banned in the facade")
+        positional = [a.arg for a in args.args if a.arg != "self"]
+        if positional:
+            out.append(f"{path}:{fn.lineno}: {name}: parameter(s) "
+                       f"{', '.join(positional)} must be keyword-only "
+                       f"(add a leading `*,`)")
+        if args.vararg is not None:
+            out.append(f"{path}:{fn.lineno}: {name}: *{args.vararg.arg} "
+                       f"is banned (accepts positional calls)")
+
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef):
+            check(node)
+        elif isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+            for item in node.body:
+                if isinstance(item, ast.FunctionDef):
+                    check(item, owner=f"{node.name}.")
+    return out
+
+
+def main(argv: list[str]) -> int:
+    path = pathlib.Path(argv[1]) if len(argv) > 1 else API_FILE
+    tree = ast.parse(path.read_text(), filename=str(path))
+    offences = _offences(tree, path)
+    for line in offences:
+        print(line)
+    if offences:
+        print(f"check_api_signatures: {len(offences)} offence(s) — "
+              f"the repro.api contract is keyword-only", file=sys.stderr)
+        return 1
+    print(f"check_api_signatures: {path.name} ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
