@@ -13,8 +13,8 @@ FORMATTED = src/repro/golden tests/test_golden_store.py \
             tests/test_golden_policy.py tests/test_golden_harness.py \
             tests/test_golden_drift.py tests/test_cli_smoke.py
 
-.PHONY: test test-all test-exec test-faults bench obs help \
-        lint verify golden-record ci scaleout
+.PHONY: test test-all test-exec test-faults test-traffic bench obs \
+        help lint verify golden-record ci scaleout skew
 
 help:
 	@echo "make ci            - what CI runs: lint -> tier-1 tests -> golden gate"
@@ -23,6 +23,8 @@ help:
 	@echo "make test-all      - full test suite, slow overhead guards included"
 	@echo "make test-exec     - executor/cache test suite only"
 	@echo "make test-faults   - fault-injection + reliable-transport suite only"
+	@echo "make test-traffic  - traffic models + statistical validation suite only"
+	@echo "make skew          - fig_skew: GUPS vs destination skew (docs/traffic.md)"
 	@echo "make verify        - golden compare + 4-axis determinism harness"
 	@echo "make golden-record - refresh goldens/ after an intentional figure change"
 	@echo "make bench         - perf regression benchmarks; updates BENCH_exec.json"
@@ -58,6 +60,14 @@ test-exec:
 
 test-faults:
 	$(PYTEST) -x -q tests/test_faults.py tests/test_dv_transport.py
+
+test-traffic:
+	$(PYTEST) -x -q tests/test_traffic_distributions.py \
+		tests/test_traffic_arrivals.py \
+		tests/test_traffic_integration.py
+
+skew:
+	$(REPRO) skew --nodes 4
 
 bench:
 	$(PYTEST) -q -m slow benchmarks/test_perf_regression.py

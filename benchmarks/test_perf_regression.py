@@ -217,3 +217,48 @@ def test_flow_engine_ab_speedup_at_256_nodes():
         f"fast flow engine only {ratio:.2f}x faster than reference "
         f"({fast_s:.1f}s vs {ref_s:.1f}s) — regression below the 3x "
         f"floor")
+
+
+def test_skew_sweep_timing_and_degradation_guard(tmp_path):
+    """Nightly guard for the skewed-traffic sweep (fig_skew): time the
+    full default grid through a pooled cached executor, assert the
+    parallel run reproduces the serial rows bit-for-bit, and pin the
+    physics — aggregate GUPS at the steepest Zipf exponent must sit
+    below uniform on both fabrics (destination concentration
+    serialises the hot node), with the degradation bounded away from
+    collapse (> 25% of uniform throughput retained)."""
+    from repro.traffic.experiments import skew_table
+
+    kw = dict(nodes=4, table_words=1 << 12, n_updates=1 << 10,
+              window=256, exponents=(0.0, 0.6, 1.2, 1.8))
+
+    t0 = time.perf_counter()
+    serial = skew_table(Executor(), **kw)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    par = skew_table(
+        Executor(workers=2, cache_dir=str(tmp_path / "skew-cache")),
+        **kw)
+    par_s = time.perf_counter() - t0
+
+    assert par.render() == serial.render()
+    rows = {r[0]: r for r in serial.rows}
+    uniform = rows["zipf(exponent=0.0)"]
+    steep = rows["zipf(exponent=1.8)"]
+    for col, name in ((2, "dv"), (3, "mpi")):
+        assert steep[col] < uniform[col], (
+            f"{name} did not degrade under skew")
+        assert steep[col] > 0.25 * uniform[col], (
+            f"{name} collapsed under skew")
+    _record("skew_sweep", {
+        "nodes": kw["nodes"],
+        "exponents": list(kw["exponents"]),
+        "serial_seconds": round(serial_s, 4),
+        "parallel_seconds": round(par_s, 4),
+        "dv_mups_uniform": round(uniform[2], 2),
+        "dv_mups_zipf18": round(steep[2], 2),
+        "mpi_mups_uniform": round(uniform[3], 2),
+        "mpi_mups_zipf18": round(steep[3], 2),
+        "dv_over_mpi_zipf18": round(steep[4], 3),
+    })

@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-__api_version__ = "1.0.0"
+__api_version__ = "1.1.0"
 
 __all__ = [
     "__api_version__",
@@ -36,10 +36,12 @@ __all__ = [
     "RunOptions",
     "GoldenVerdict",
     "build_cluster",
+    "build_traffic",
     "run_figure",
     "run_figures",
     "run_sweep",
     "run_scaleout",
+    "run_skew",
     "verify_goldens",
 ]
 
@@ -130,6 +132,29 @@ def build_cluster(*, n_nodes: int = 32, seed: int = 2017,
                        **overrides)
 
 
+def build_traffic(*, dist: str = "uniform",
+                  dist_params: Optional[Mapping[str, Any]] = None,
+                  arrivals: str = "closed",
+                  arrival_params: Optional[Mapping[str, Any]] = None
+                  ) -> "TrafficModel":
+    """A :class:`~repro.traffic.TrafficModel` by registry names.
+
+    ``dist`` picks the destination distribution (``uniform`` /
+    ``hotset`` / ``zipf`` / ``trace``), ``arrivals`` the arrival
+    process (``closed`` / ``poisson`` / ``mmpp`` / ``trace``); the
+    params mappings pass through to the constructors.  Hand the result
+    to :func:`build_cluster` via ``traffic=`` — the traffic-aware
+    kernels (GUPS, BFS) honour it, and ``None`` keeps every legacy
+    path byte-for-byte (see docs/traffic.md).
+    """
+    from repro.traffic.model import model_from_names
+    return model_from_names(
+        dist=dist,
+        dist_params=dict(dist_params) if dist_params else None,
+        arrivals=arrivals,
+        arrival_params=dict(arrival_params) if arrival_params else None)
+
+
 # ---------------------------------------------------------- experiments ---
 
 def run_figure(*, exp_id: Optional[str] = None,
@@ -212,6 +237,30 @@ def run_scaleout(*, workloads: Optional[Sequence[str]] = None,
     # through to the per-point executor instead
     return REGISTRY["fig_scaleout"].runner(executor=_executor(options),
                                            **kwargs)
+
+
+def run_skew(*, nodes: int = 4, seed: int = 2017,
+             exponents: Optional[Sequence[float]] = None,
+             include_hotset: bool = True,
+             table_words: int = 1 << 12, n_updates: int = 1 << 9,
+             window: int = 256, flow_impl: str = "reference",
+             options: Optional[RunOptions] = None) -> "Table":
+    """The ``fig_skew`` experiment: GUPS throughput on both fabrics as
+    destination skew sweeps from uniform (Zipf s=0) through
+    head-dominated exponents to a hot-set extreme.
+
+    Rows pair the DV and IB numbers per distribution with their ratio;
+    ``max_share`` (the hottest node's pmf mass) is the skew coordinate.
+    Points fan across the options' worker pool and memoise in its
+    cache like every other experiment.
+    """
+    from repro.traffic.experiments import SKEW_EXPONENTS, skew_table
+    return skew_table(
+        _executor(options), nodes=nodes, seed=seed,
+        exponents=(tuple(exponents) if exponents is not None
+                   else SKEW_EXPONENTS),
+        include_hotset=include_hotset, table_words=table_words,
+        n_updates=n_updates, window=window, flow_impl=flow_impl)
 
 
 def verify_goldens(*, mode: str = "compare",

@@ -13,6 +13,7 @@ Usage::
     python -m repro.cli scaleout --nodes 64,128,256,512,1024 --workers 4
     python -m repro.cli cache --cache .repro-cache   # stats / --clear
     python -m repro.cli faults --drops 0,0.02,0.05 --workloads gups
+    python -m repro.cli skew --exponents 0,0.6,1.2,1.8 --nodes 4
     python -m repro.cli verify --compare             # golden gate (CI)
     python -m repro.cli verify --record              # refresh goldens
     python -m repro.cli list
@@ -248,6 +249,16 @@ def cmd_faults(args) -> Table:
                              nodes=min(args.nodes), seed=args.seed)
 
 
+def cmd_skew(args) -> Table:
+    """Skewed-traffic sweep (fig_skew): GUPS on both fabrics as the
+    destination distribution tightens from uniform through Zipf
+    exponents to a hot-set extreme.  See docs/traffic.md."""
+    import repro.api as api
+    return api.run_skew(nodes=min(args.nodes), seed=args.seed,
+                        exponents=args.exponents,
+                        options=_options(args))
+
+
 def cmd_verify(args) -> int:
     """Golden-results gate: record or compare figure snapshots, run the
     four-axis determinism harness, and track flow-vs-cycle calibration
@@ -345,6 +356,7 @@ COMMANDS = {
     "cache": cmd_cache,
     "obs": cmd_obs,
     "faults": cmd_faults,
+    "skew": cmd_skew,
     "verify": cmd_verify,
 }
 
@@ -406,6 +418,11 @@ def build_parser() -> argparse.ArgumentParser:
                    default="fast", dest="flow_impl",
                    help="scaleout: flow-engine implementation "
                         "(default fast; both are bit-identical)")
+    p.add_argument("--exponents",
+                   type=lambda s: [float(x) for x in s.split(",") if x],
+                   default=None,
+                   help="skew: comma-separated Zipf exponents "
+                        "(default 0,0.6,1.2,1.8; 0 = uniform)")
     p.add_argument("--clear", action="store_true",
                    help="cache: delete all entries instead of printing "
                         "stats")

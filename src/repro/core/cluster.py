@@ -47,6 +47,12 @@ class ClusterSpec:
     #: bit-identical — see :mod:`repro.dv.fastflow`); applies to both
     #: fabrics' flow-level models
     flow_impl: str = "reference"
+    #: production-shaped load: a :class:`~repro.traffic.TrafficModel`
+    #: (destination distribution + arrival process) the traffic-aware
+    #: kernels honour.  ``None`` keeps every kernel on its legacy
+    #: uniform-random closed-loop path, byte-for-byte (the goldens pin
+    #: exactly that).  See docs/traffic.md.
+    traffic: Optional["TrafficModel"] = None
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -55,6 +61,12 @@ class ClusterSpec:
             raise ValueError(
                 f'flow_impl must be "reference" or "fast", '
                 f'got {self.flow_impl!r}')
+        if self.traffic is not None:
+            from repro.traffic.model import TrafficModel
+            if not isinstance(self.traffic, TrafficModel):
+                raise TypeError(
+                    "traffic must be a repro.traffic.TrafficModel "
+                    f"(got {type(self.traffic).__name__})")
 
     @staticmethod
     def paper_testbed(**overrides) -> "ClusterSpec":

@@ -147,6 +147,26 @@ def _run_fig_scaleout(seed: int = 2017, nodes=None, workloads=None,
     return t
 
 
+def _run_fig_skew(seed: int = 2017, nodes: int = 4, exponents=None,
+                  include_hotset: bool = True,
+                  table_words: int = 1 << 12, n_updates: int = 1 << 9,
+                  window: int = 256, flow_impl: str = "reference",
+                  executor=None) -> Table:
+    """Fabric degradation under destination skew (docs/traffic.md).
+
+    GUPS under a sweep of destination distributions — uniform
+    (Zipf s=0) through head-dominated exponents to a hot-set extreme —
+    on both fabrics, with the DV/IB ratio per row.
+    """
+    from repro.traffic.experiments import SKEW_EXPONENTS, skew_table
+    return skew_table(
+        executor, nodes=nodes, seed=seed,
+        exponents=(tuple(exponents) if exponents is not None
+                   else SKEW_EXPONENTS),
+        include_hotset=include_hotset, table_words=table_words,
+        n_updates=n_updates, window=window, flow_impl=flow_impl)
+
+
 REGISTRY: Dict[str, Experiment] = {
     e.exp_id: e for e in [
         Experiment(
@@ -229,6 +249,16 @@ REGISTRY: Dict[str, Experiment] = {
             "per-PE DV rates stay near-flat across five doublings; "
             "MPI per-PE rates decay (SS IX extended)",
             _run_fig_scaleout),
+        Experiment(
+            "fig_skew", "GUPS vs destination skew (DV/IB ratio)",
+            "GUPS under uniform / Zipf(0.6, 1.2, 1.8) / hot-set "
+            "destination distributions, both fabrics",
+            ("repro.traffic", "repro.kernels.gups"),
+            "benchmarks/test_perf_regression.py",
+            "deflection routing degrades gracefully as destinations "
+            "concentrate; the fat-tree serialises on the hot node, so "
+            "the DV/IB ratio widens with skew ([14]/[15] extended)",
+            _run_fig_skew),
     ]
 }
 

@@ -159,16 +159,24 @@ def terminal_reliability(topo: DataVortexTopology, p_fail: float,
 def routed_delivery_rate(topo: DataVortexTopology,
                          p_fail: Optional[float] = None,
                          trials: int = 50, packets_per_trial: int = 64,
-                         seed: int = 0, plan=None) -> float:
+                         seed: int = 0, plan=None,
+                         traffic=None) -> float:
     """Fraction of packets the *actual* deflection routing delivers
     under random node failures (cycle-accurate, TTL-bounded).
 
     Failures are drawn either i.i.d. at ``p_fail`` per node, or — when a
-    :class:`repro.faults.FaultPlan` is passed — from
+    :class:`~repro.faults.FaultPlan` is passed — from
     ``plan.switch_failures(topo, trial)``, the same seeded draws an
     *installed* plan applies to every :class:`CycleSwitch`, so the
     number here is directly comparable with fault-injected experiment
-    runs."""
+    runs.
+
+    ``traffic`` optionally shapes destinations: a
+    :class:`~repro.traffic.TrafficModel` whose distribution draws each
+    trial's destination batch (on its own seeded stream, keyed by the
+    trial index), so graph-vs-routing bounds can be checked under
+    skewed production-shaped loads, not just uniform ones.  ``None``
+    keeps the historical uniform draws byte-for-byte."""
     if plan is None and p_fail is None:
         raise ValueError("pass p_fail or a FaultPlan")
     rng = random.Random(seed)
@@ -181,9 +189,15 @@ def routed_delivery_rate(topo: DataVortexTopology,
         else:
             failed = _sample_failures(topo, p_fail, rng)
         sw = CycleSwitch(topo, failed_nodes=failed, ttl_hops=ttl)
-        for _ in range(packets_per_trial):
-            sw.inject(rng.randrange(topo.ports),
-                      rng.randrange(topo.ports))
+        if traffic is not None:
+            dests = traffic.destinations(seed, packets_per_trial,
+                                         topo.ports, src=trial)
+            for i in range(packets_per_trial):
+                sw.inject(rng.randrange(topo.ports), int(dests[i]))
+        else:
+            for _ in range(packets_per_trial):
+                sw.inject(rng.randrange(topo.ports),
+                          rng.randrange(topo.ports))
         out = sw.run_until_drained(max_cycles=200_000)
         delivered += len(out)
         total += packets_per_trial

@@ -174,6 +174,102 @@ def run_traffic(topo: DataVortexTopology, pattern_name: str,
     )
 
 
+def run_traffic_model(topo: DataVortexTopology, model,
+                      *, cycles: int = 2000, seed: int = 0,
+                      warmup: int = 200) -> TrafficResult:
+    """Drive the cycle-accurate switch from a
+    :class:`~repro.traffic.TrafficModel` (open-loop arrivals only).
+
+    Each port draws its packet schedule from the model's arrival
+    process (times interpreted in cycles — a rate of 0.3 offers 0.3
+    packets/port/cycle) and its destinations from the model's
+    distribution, both on seeded per-port streams.  Injection follows
+    the same open-loop discipline as :func:`run_traffic`: a packet due
+    while the port's input queue is still occupied counts as offered
+    but refused.
+    """
+    from repro.traffic.model import TrafficModel
+    if not isinstance(model, TrafficModel):
+        raise TypeError("run_traffic_model needs a "
+                        "repro.traffic.TrafficModel "
+                        f"(got {type(model).__name__})")
+    if not model.arrivals.open_loop:
+        raise ValueError(
+            "run_traffic_model drives the switch open-loop; closed-"
+            "loop arrivals belong to the kernel runners (run_gups / "
+            "run_bfs)")
+    P = topo.ports
+    sw = CycleSwitch(topo, ttl_hops=None)
+
+    # Pre-draw each port's schedule past the horizon.  Arrival streams
+    # are prefix-stable (drawing more extends, never reshuffles), so
+    # the adaptive doubling stays deterministic.
+    rate = model.arrivals.mean_rate()
+    due: List[List[int]] = []      # per-cycle injection counts per port
+    dests: List[List[int]] = []
+    for port in range(P):
+        n = max(int(rate * cycles * 2) + 64, 16)
+        while True:
+            try:
+                times = model.arrival_times(seed, n, src=port)
+            except ValueError:
+                # finite trace schedule: take all of it
+                n = len(model.arrivals.schedule)
+                times = model.arrival_times(seed, n, src=port)
+                break
+            if times.size == 0 or times[-1] >= cycles:
+                break
+            n *= 2
+        times = times[times < cycles]
+        counts = [0] * cycles
+        for t in times:
+            counts[int(t)] += 1
+        due.append(counts)
+        dests.append(list(model.destinations(seed, max(times.size, 1),
+                                             P, src=port)))
+
+    offered = 0
+    delivered = 0
+    latencies: List[int] = []
+    measured_ids: set = set()
+    next_pkt = [0] * P
+
+    for cycle in range(cycles):
+        for port in range(P):
+            for _ in range(due[port][cycle]):
+                offered += 1
+                if not sw.input_queues[port]:
+                    pid = sw.inject(port, dests[port][next_pkt[port]])
+                    if cycle >= warmup:
+                        measured_ids.add(pid)
+                next_pkt[port] += 1
+        for ej in sw.step():
+            delivered += 1
+            if ej.pkt_id in measured_ids:
+                latencies.append(ej.latency_cycles)
+
+    for ej in sw.run_until_drained(max_cycles=100_000):
+        delivered += 1
+        if ej.pkt_id in measured_ids:
+            latencies.append(ej.latency_cycles)
+
+    latencies.sort()
+    mean_lat = (sum(latencies) / len(latencies)) if latencies else 0.0
+    p99 = latencies[int(0.99 * (len(latencies) - 1))] if latencies else 0
+    return TrafficResult(
+        pattern=model.label(),
+        offered_load=rate,
+        bursty=model.arrivals.name == "mmpp",
+        delivered=delivered,
+        offered=offered,
+        accepted_throughput=delivered / cycles / topo.ports,
+        mean_latency=mean_lat,
+        p99_latency=float(p99),
+        mean_deflections=sw.stats.mean_deflections,
+        latencies=latencies,
+    )
+
+
 def smoothing_study(topo: DataVortexTopology, offered_load: float = 0.3,
                     cycles: int = 1500, seed: int = 0
                     ) -> Dict[str, Dict[str, TrafficResult]]:

@@ -60,6 +60,11 @@ GOLDEN_CONFIGS: Dict[str, Dict[str, Any]] = {
     # (flow_impl="fast" is fig_scaleout's default) into the golden set
     "fig_scaleout": {"seed": GOLDEN_SEED, "nodes": (64,),
                      "workloads": ("gups",)},
+    # skewed-traffic sweep at a tiny config: pins the traffic layer's
+    # shaped destination streams into the golden set
+    "fig_skew": {"seed": GOLDEN_SEED, "nodes": 2,
+                 "exponents": (0.0, 1.2), "include_hotset": True,
+                 "table_words": 1 << 10, "n_updates": 1 << 8},
 }
 
 #: The four determinism axes, in report order.

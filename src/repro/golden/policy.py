@@ -119,6 +119,8 @@ POLICIES: Dict[str, FigPolicy] = {
     "fig7": _timing_policy("dv", "mpi"),
     "fig8": _timing_policy("dv", "mpi"),
     "fig9": _timing_policy("speedup"),
+    "fig_skew": _timing_policy("max_share", "dv_mups", "mpi_mups",
+                               "dv_over_mpi"),
 }
 
 

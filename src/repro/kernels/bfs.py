@@ -35,7 +35,7 @@ import numpy as np
 from repro.core.cluster import ClusterSpec, run_spmd
 from repro.core.context import RankContext
 from repro.core.metrics import harmonic_mean, teps
-from repro.kernels.kronecker import kronecker_edges, to_csr
+from repro.kernels.kronecker import degrees, kronecker_edges, to_csr
 from repro.sim.rng import rng_for
 
 _CTR_COUNTS = 30
@@ -564,6 +564,16 @@ def run_bfs(spec: ClusterSpec, fabric: str, *, scale: int = 12,
     rng = rng_for(spec.seed, "graph500", scale)
     edges = kronecker_edges(scale, edgefactor, rng)
     n = 1 << scale
+    if spec.traffic is not None:
+        # BFS traffic is derived from vertex ownership, so the traffic
+        # model shapes it through placement: relabel so each rank's
+        # degree share tracks the destination pmf (docs/traffic.md).
+        # Deterministic, RNG-free, and graph-isomorphic — validation
+        # simply runs on the relabelled graph.
+        from repro.traffic.placement import skewed_relabel
+        relabel = skewed_relabel(degrees(edges, n), spec.n_nodes,
+                                 spec.traffic.dist)
+        edges = relabel[edges]
     offsets, targets = to_csr(edges, n)
     deg = np.diff(offsets)
     candidates = np.flatnonzero(deg > 0)

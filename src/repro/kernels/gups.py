@@ -44,11 +44,24 @@ _VAL_MASK = (1 << 32) - 1
 
 
 def _make_updates(seed: int, rank: int, n_updates: int, table_words: int,
-                  size: int) -> tuple:
-    """Random global indices and 32-bit update values for one rank."""
+                  size: int, traffic=None) -> tuple:
+    """Random global indices and 32-bit update values for one rank.
+
+    With a :class:`~repro.traffic.TrafficModel` the *owning node* of
+    each update is drawn from the model's destination distribution
+    (Zipf/hotset/trace skew at node granularity — what the fabrics
+    contend over) and the word within the owner's table stays uniform.
+    ``traffic=None`` keeps the legacy uniform-global-index path
+    byte-for-byte (the goldens pin it).
+    """
     rng = rng_for(seed, "gups", rank)
-    total = table_words * size
-    idx = rng.integers(0, total, n_updates, dtype=np.int64)
+    if traffic is None:
+        total = table_words * size
+        idx = rng.integers(0, total, n_updates, dtype=np.int64)
+    else:
+        owner = traffic.dist.draw(rng, n_updates, size, src=rank)
+        local = rng.integers(0, table_words, n_updates, dtype=np.int64)
+        idx = owner * table_words + local
     val = rng.integers(0, 1 << 32, n_updates, dtype=np.uint64)
     return idx, val
 
@@ -63,21 +76,24 @@ def _apply(table: np.ndarray, packed: np.ndarray) -> None:
 
 
 def serial_gups_table(seed: int, size: int, table_words: int,
-                      n_updates: int) -> np.ndarray:
+                      n_updates: int, traffic=None) -> np.ndarray:
     """Reference: the whole table after all ranks' updates, serially."""
     table = np.zeros(size * table_words, np.uint64)
     for r in range(size):
-        idx, val = _make_updates(seed, r, n_updates, table_words, size)
+        idx, val = _make_updates(seed, r, n_updates, table_words, size,
+                                 traffic)
         np.bitwise_xor.at(table, idx, val)
     return table
 
 
 def _dv_gups(ctx: RankContext, table_words: int, n_updates: int,
-             window: int, seed: int, aggregate: bool) -> Generator:
+             window: int, seed: int, aggregate: bool,
+             traffic=None) -> Generator:
     api = ctx.dv
     P = ctx.size
     table = np.zeros(table_words, np.uint64)
-    idx, val = _make_updates(seed, ctx.rank, n_updates, table_words, P)
+    idx, val = _make_updates(seed, ctx.rank, n_updates, table_words, P,
+                             traffic)
     owner = idx // table_words
     local = idx % table_words
     n_epochs = (n_updates + window - 1) // window
@@ -171,7 +187,7 @@ def _dv_gups(ctx: RankContext, table_words: int, n_updates: int,
 
 
 def _verbs_gups(ctx: RankContext, table_words: int, n_updates: int,
-                window: int, seed: int) -> Generator:
+                window: int, seed: int, traffic=None) -> Generator:
     """GUPS over one-sided RDMA (paper §VIII's verbs alternative).
 
     Updates cannot be applied remotely (no remote XOR), so each rank
@@ -185,7 +201,8 @@ def _verbs_gups(ctx: RankContext, table_words: int, n_updates: int,
     v = ctx.mpi.verbs
     P = ctx.size
     table = np.zeros(table_words, np.uint64)
-    idx, val = _make_updates(seed, ctx.rank, n_updates, table_words, P)
+    idx, val = _make_updates(seed, ctx.rank, n_updates, table_words, P,
+                             traffic)
     owner = idx // table_words
     local = idx % table_words
     n_epochs = (n_updates + window - 1) // window
@@ -257,11 +274,12 @@ def _verbs_gups(ctx: RankContext, table_words: int, n_updates: int,
 
 
 def _mpi_gups(ctx: RankContext, table_words: int, n_updates: int,
-              window: int, seed: int) -> Generator:
+              window: int, seed: int, traffic=None) -> Generator:
     mpi = ctx.mpi
     P = ctx.size
     table = np.zeros(table_words, np.uint64)
-    idx, val = _make_updates(seed, ctx.rank, n_updates, table_words, P)
+    idx, val = _make_updates(seed, ctx.rank, n_updates, table_words, P,
+                             traffic)
     owner = idx // table_words
     local = idx % table_words
     n_epochs = (n_updates + window - 1) // window
@@ -312,19 +330,21 @@ def run_gups(spec: ClusterSpec, fabric: str, *, table_words: int = 1 << 14,
     if window < 1 or window > 1024:
         raise ValueError("HPCC rules: look-ahead window must be <= 1024")
     seed = spec.seed
+    traffic = spec.traffic
 
     if fabric == "dv":
         def program(ctx):
             return (yield from _dv_gups(ctx, table_words, n_updates,
-                                        window, seed, aggregate))
+                                        window, seed, aggregate,
+                                        traffic))
     elif fabric == "verbs":
         def program(ctx):
             return (yield from _verbs_gups(ctx, table_words, n_updates,
-                                           window, seed))
+                                           window, seed, traffic))
     else:
         def program(ctx):
             return (yield from _mpi_gups(ctx, table_words, n_updates,
-                                         window, seed))
+                                         window, seed, traffic))
 
     res = run_spmd(spec, program, "dv" if fabric == "dv" else "mpi")
     elapsed = max(v["elapsed"] for v in res.values)
@@ -339,6 +359,7 @@ def run_gups(spec: ClusterSpec, fabric: str, *, table_words: int = 1 << 14,
     }
     if validate:
         got = np.concatenate([v["table"] for v in res.values])
-        ref = serial_gups_table(seed, spec.n_nodes, table_words, n_updates)
+        ref = serial_gups_table(seed, spec.n_nodes, table_words,
+                                n_updates, traffic)
         out["valid"] = bool(np.array_equal(got, ref))
     return out

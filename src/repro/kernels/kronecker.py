@@ -71,6 +71,31 @@ def degrees(edges: np.ndarray, n_vertices: int) -> np.ndarray:
     return deg
 
 
+def degree_summary(edges: np.ndarray, n_vertices: int) -> dict:
+    """Degree-skew summary of an edge list (Graph500 graphs are
+    scale-free, so hub vertices dominate the traffic a BFS induces).
+
+    Returns ``max_degree``, ``mean_degree``, ``max_over_mean`` (the
+    hub-dominance ratio) and the Gini coefficient of the degree
+    distribution — 0 for perfectly even degrees, → 1 as a few hubs
+    hold all the edges.
+    """
+    deg = degrees(edges, n_vertices)
+    total = float(deg.sum())
+    if total == 0:
+        return {"max_degree": 0, "mean_degree": 0.0,
+                "max_over_mean": 0.0, "gini": 0.0}
+    mean = total / n_vertices
+    x = np.sort(deg).astype(np.float64)
+    n = x.size
+    gini = float((2.0 * np.sum(np.arange(1, n + 1) * x))
+                 / (n * x.sum()) - (n + 1) / n)
+    return {"max_degree": int(deg.max()),
+            "mean_degree": float(mean),
+            "max_over_mean": float(deg.max() / mean),
+            "gini": gini}
+
+
 def to_csr(edges: np.ndarray, n_vertices: int
            ) -> Tuple[np.ndarray, np.ndarray]:
     """Symmetrised CSR adjacency (``offsets``, ``targets``) with

@@ -1,0 +1,40 @@
+"""Production-shaped traffic models and their statistical validation.
+
+The pluggable traffic-distribution layer ROADMAP open item 1 calls for:
+destination distributions (uniform / hotset / Zipf with a sweepable
+exponent / trace replay), arrival processes (closed-loop, open-loop
+Poisson, bursty MMPP on/off, trace replay), the
+:class:`~repro.traffic.model.TrafficModel` that
+:class:`~repro.core.cluster.ClusterSpec` carries into GUPS, BFS and
+the cycle-accurate switch driver, the skew-aware vertex placement that
+shapes graph-kernel traffic, the ``fig_skew`` experiment, and the
+statistical suite (chi-squared / KS / Zipf-slope / CV / Gini) that
+keeps every generator honest.  See docs/traffic.md.
+"""
+
+from repro.traffic.arrivals import (ARRIVALS, MMPP, ArrivalProcess,
+                                    ClosedLoop, Poisson, TraceArrivals,
+                                    make_arrivals)
+from repro.traffic.distributions import (DISTRIBUTIONS, Distribution,
+                                         Hotset, TraceReplay, Uniform,
+                                         Zipf, make_distribution)
+from repro.traffic.experiments import (SKEW_EXPONENTS, skew_levels,
+                                       skew_point, skew_table)
+from repro.traffic.model import (Trace, TrafficModel, model_from_names,
+                                 record, replay_model)
+from repro.traffic.placement import rank_degree_share, skewed_relabel
+from repro.traffic.validate import (chi_squared, coefficient_of_variation,
+                                    destination_counts, gini,
+                                    ks_exponential, zipf_slope)
+
+__all__ = [
+    "ARRIVALS", "DISTRIBUTIONS", "SKEW_EXPONENTS",
+    "ArrivalProcess", "ClosedLoop", "Poisson", "MMPP", "TraceArrivals",
+    "Distribution", "Uniform", "Hotset", "Zipf", "TraceReplay",
+    "Trace", "TrafficModel",
+    "chi_squared", "coefficient_of_variation", "destination_counts",
+    "gini", "ks_exponential", "zipf_slope",
+    "make_arrivals", "make_distribution", "model_from_names",
+    "rank_degree_share", "record", "replay_model",
+    "skew_levels", "skew_point", "skew_table", "skewed_relabel",
+]

@@ -1,0 +1,223 @@
+"""Destination distributions: who a packet is for.
+
+The paper asks where the Data Vortex's deflection fabric beats
+InfiniBand on traffic that cannot be aggregated *by destination*; every
+kernel so far has asked that question under uniform-random destinations
+only.  Real services with millions of users are nothing like uniform —
+popularity is Zipfian, caches concentrate on hot sets, and replayed
+production schedules have arbitrary shapes.  This module is the
+destination half of the traffic taxonomy (the GUPS Hotset/Zipf/Random
+family of the Demeter workload generator, grown into a pluggable layer):
+
+* :class:`Uniform` — every destination equally likely (the seed repo's
+  implicit model, now explicit);
+* :class:`Hotset` — a fixed fraction of the destination space absorbs a
+  fixed (larger) fraction of the traffic;
+* :class:`Zipf` — destination ``k`` drawn with probability proportional
+  to ``1 / (k+1)**exponent`` (``exponent == 0`` degenerates to
+  uniform), the classic power-law popularity curve with a sweepable
+  exponent;
+* :class:`TraceReplay` — replays a recorded destination schedule
+  verbatim (see :mod:`repro.traffic.model` for record/replay).
+
+Every distribution is a **frozen dataclass of primitives**: hashable,
+picklable into pool workers, and canonicalisable by the exec result
+cache.  Draws are fully vectorised and consume only the generator they
+are handed, so a seeded run is bit-identical across processes.  Each
+distribution also exposes its exact :meth:`~Distribution.pmf`, which
+the statistical validation suite (:mod:`repro.traffic.validate`) tests
+samples against — a generator whose draws do not match its own pmf is
+a bug the property tests are built to catch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Distribution", "Uniform", "Hotset", "Zipf", "TraceReplay",
+    "DISTRIBUTIONS", "make_distribution",
+]
+
+
+@dataclass(frozen=True)
+class Distribution:
+    """Base destination distribution over ``n_dests`` destinations.
+
+    Subclasses implement :meth:`pmf`; :meth:`draw` is the shared
+    inverse-CDF sampler (one ``rng.random(n)`` batch, one
+    ``searchsorted``), so every concrete distribution draws through the
+    same deterministic code path.
+    """
+
+    #: short registry name ("uniform", "hotset", "zipf", "trace")
+    name = "base"
+
+    def pmf(self, n_dests: int) -> np.ndarray:
+        """Exact probability of each destination (sums to 1)."""
+        raise NotImplementedError
+
+    def draw(self, rng: np.random.Generator, n: int, n_dests: int,
+             src: Optional[int] = None) -> np.ndarray:
+        """``n`` destination draws in ``[0, n_dests)`` (int64).
+
+        ``src`` is accepted for source-aware patterns (trace replay
+        keys its schedule on it); the stochastic distributions ignore
+        it.
+        """
+        if n_dests < 1:
+            raise ValueError("n_dests must be >= 1")
+        cdf = np.cumsum(self.pmf(n_dests))
+        cdf[-1] = 1.0  # guard the last bin against rounding
+        return np.searchsorted(cdf, rng.random(n),
+                               side="right").astype(np.int64)
+
+    @property
+    def params(self) -> Dict[str, object]:
+        """The constructor kwargs (for labels, caching, round-trips)."""
+        return {f: getattr(self, f)
+                for f in getattr(self, "__dataclass_fields__", {})}
+
+    def label(self) -> str:
+        """Human label for tables, e.g. ``zipf(s=1.2)``."""
+        inner = ",".join(f"{k}={v}" for k, v in self.params.items())
+        return f"{self.name}({inner})" if inner else self.name
+
+
+@dataclass(frozen=True)
+class Uniform(Distribution):
+    """Every destination equally likely."""
+
+    name = "uniform"
+
+    def pmf(self, n_dests: int) -> np.ndarray:
+        return np.full(n_dests, 1.0 / n_dests)
+
+    def draw(self, rng: np.random.Generator, n: int, n_dests: int,
+             src: Optional[int] = None) -> np.ndarray:
+        if n_dests < 1:
+            raise ValueError("n_dests must be >= 1")
+        return rng.integers(0, n_dests, n, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class Hotset(Distribution):
+    """``hot_mass`` of the traffic aims at the first
+    ``hot_fraction`` of the destination space; the rest is uniform
+    over the cold remainder.
+
+    ``hot_fraction=0.1, hot_mass=0.9`` is the classic 90/10 cache
+    shape.  With ``hot_mass == hot_fraction`` the distribution
+    degenerates to uniform.
+    """
+
+    name = "hotset"
+
+    hot_fraction: float = 0.1
+    hot_mass: float = 0.9
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in (0, 1]")
+        if not 0.0 <= self.hot_mass <= 1.0:
+            raise ValueError("hot_mass must be in [0, 1]")
+
+    def hot_count(self, n_dests: int) -> int:
+        """Size of the hot set (at least one destination)."""
+        return max(1, int(round(self.hot_fraction * n_dests)))
+
+    def pmf(self, n_dests: int) -> np.ndarray:
+        hot_n = min(self.hot_count(n_dests), n_dests)
+        p = np.empty(n_dests)
+        p[:hot_n] = self.hot_mass / hot_n
+        if hot_n < n_dests:
+            p[hot_n:] = (1.0 - self.hot_mass) / (n_dests - hot_n)
+        else:
+            p[:] = 1.0 / n_dests
+        return p / p.sum()
+
+
+@dataclass(frozen=True)
+class Zipf(Distribution):
+    """Power-law popularity: ``P(k) ∝ 1 / (k+1)**exponent``.
+
+    Destination 0 is the hottest; ``exponent == 0`` is uniform and the
+    skew concentrates as the exponent grows (at ``exponent ≈ 1`` the
+    head holds a log share, by 2 the top destination dominates).  The
+    identity rank→destination mapping is deliberate: experiments sweep
+    the exponent, and keeping destination 0 hottest makes hotspot
+    placement reproducible and legible in traces.
+    """
+
+    name = "zipf"
+
+    exponent: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.exponent < 0.0:
+            raise ValueError("exponent must be >= 0")
+
+    def pmf(self, n_dests: int) -> np.ndarray:
+        w = (np.arange(1, n_dests + 1, dtype=np.float64)
+             ** -float(self.exponent))
+        return w / w.sum()
+
+
+@dataclass(frozen=True)
+class TraceReplay(Distribution):
+    """Replays a recorded destination schedule verbatim.
+
+    ``draw`` hands back the recorded sequence in order (tiled when the
+    request outruns the recording), ignoring the generator entirely —
+    replay must not perturb any RNG stream.  The pmf is the recording's
+    empirical frequency (what a goodness-of-fit test of the replay
+    *should* match exactly).
+    """
+
+    name = "trace"
+
+    destinations: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.destinations:
+            raise ValueError("trace replay needs a non-empty schedule")
+
+    def pmf(self, n_dests: int) -> np.ndarray:
+        counts = np.bincount(np.asarray(self.destinations, np.int64),
+                             minlength=n_dests).astype(np.float64)
+        return counts / counts.sum()
+
+    def draw(self, rng: np.random.Generator, n: int, n_dests: int,
+             src: Optional[int] = None) -> np.ndarray:
+        rec = np.asarray(self.destinations, np.int64)
+        if rec.max() >= n_dests:
+            raise ValueError(
+                f"trace destination {int(rec.max())} out of range for "
+                f"{n_dests} destinations")
+        reps = -(-n // rec.size)  # ceil
+        return np.tile(rec, reps)[:n]
+
+
+#: Registry of constructible distributions by name.
+DISTRIBUTIONS: Dict[str, Callable[..., Distribution]] = {
+    "uniform": Uniform,
+    "hotset": Hotset,
+    "zipf": Zipf,
+    "trace": TraceReplay,
+}
+
+
+def make_distribution(name: str, **params: object) -> Distribution:
+    """Build a distribution from its registry name + kwargs.
+
+    The inverse of :attr:`Distribution.params` — experiment points
+    carry ``(name, params)`` primitives through the exec cache and
+    rebuild the distribution inside the (possibly pooled) worker.
+    """
+    if name not in DISTRIBUTIONS:
+        raise KeyError(f"unknown distribution {name!r}; known: "
+                       f"{', '.join(sorted(DISTRIBUTIONS))}")
+    return DISTRIBUTIONS[name](**params)

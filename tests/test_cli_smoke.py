@@ -23,6 +23,7 @@ TINY = {
     "spmv": ["--nodes", "2", "--scale", "6"],
     "scaling": ["--workers", "2"],
     "scaleout": ["--nodes", "64", "--workloads", "gups"],
+    "skew": ["--nodes", "2", "--exponents", "0,1.2"],
     "sweep": ["--name", "barrier", "--nodes", "2"],
     "figures": ["--figs", "fig4"],
     "obs": ["--nodes", "2"],

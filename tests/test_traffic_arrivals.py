@@ -1,0 +1,171 @@
+"""Statistical validation of the arrival processes.
+
+Poisson arrivals must behave like Poisson arrivals: exponential
+inter-arrival times (KS test against the exact CDF), mean 1/rate, and
+coefficient of variation ≈ 1.  The MMPP's whole reason to exist is
+burstiness, so its inter-arrival CV must strictly exceed 1 (and the
+Poisson CV measured on the same sample size).  Mis-parameterised twins
+must be *rejected* by the same statistics.  Trace record → replay must
+round-trip bit-exactly, including through JSON.
+"""
+
+import numpy as np
+import pytest
+
+from repro.traffic import (ARRIVALS, MMPP, ClosedLoop, Poisson, Trace,
+                           TraceArrivals, TrafficModel, Uniform, Zipf,
+                           coefficient_of_variation, ks_exponential,
+                           make_arrivals, record, replay_model)
+
+SEED = 2017
+N = 50_000
+
+
+def _inter_arrivals(arrivals, n=N, seed=SEED, src=0):
+    t = TrafficModel(arrivals=arrivals).arrival_times(seed, n, src=src)
+    return np.diff(np.concatenate([[0.0], t]))
+
+
+# ---------------------------------------------------------------- poisson ---
+
+def test_poisson_mean_and_cv():
+    for rate in (0.25, 0.5, 2.0):
+        ia = _inter_arrivals(Poisson(rate=rate))
+        assert ia.mean() == pytest.approx(1.0 / rate, rel=0.02)
+        assert coefficient_of_variation(ia) == pytest.approx(1.0,
+                                                             abs=0.03)
+
+
+def test_poisson_ks_exponential():
+    ia = _inter_arrivals(Poisson(rate=0.5))
+    _, p = ks_exponential(ia, 0.5)
+    assert p > 1e-3
+
+
+def test_poisson_ks_rejects_wrong_rate():
+    """The suite must fail a generator claiming a different rate."""
+    ia = _inter_arrivals(Poisson(rate=0.5))
+    _, p = ks_exponential(ia, 0.8)
+    assert p < 1e-6
+
+
+def test_poisson_times_increasing_and_deterministic():
+    m = TrafficModel(arrivals=Poisson(rate=0.5))
+    a = m.arrival_times(SEED, 2048)
+    b = m.arrival_times(SEED, 2048)
+    assert np.array_equal(a, b)
+    assert np.all(np.diff(a) > 0)
+    # prefix stability: asking for more extends, never reshuffles
+    longer = m.arrival_times(SEED, 4096)
+    assert np.array_equal(longer[:2048], a)
+    # per-source decorrelation
+    c = m.arrival_times(SEED, 2048, src=1)
+    assert not np.array_equal(a, c)
+
+
+# ------------------------------------------------------------------- mmpp ---
+
+def test_mmpp_burstier_than_poisson():
+    ia_mmpp = _inter_arrivals(MMPP(rate_on=1.0, mean_on=16.0,
+                                   mean_off=16.0))
+    ia_poisson = _inter_arrivals(Poisson(rate=MMPP().mean_rate()))
+    cv_mmpp = coefficient_of_variation(ia_mmpp)
+    cv_poisson = coefficient_of_variation(ia_poisson)
+    assert cv_mmpp > 1.5
+    assert cv_mmpp > cv_poisson
+
+
+def test_mmpp_not_exponential():
+    """A bursty process passed off as Poisson must be caught: KS
+    against an exponential at the matching mean rejects."""
+    ia = _inter_arrivals(MMPP(rate_on=1.0, mean_on=16.0, mean_off=16.0))
+    _, p = ks_exponential(ia, 1.0 / ia.mean())
+    assert p < 1e-6
+
+
+def test_mmpp_mean_rate_honoured():
+    proc = MMPP(rate_on=1.0, mean_on=16.0, mean_off=16.0, rate_off=0.0)
+    assert proc.mean_rate() == pytest.approx(0.5)
+    t = TrafficModel(arrivals=proc).arrival_times(SEED, N)
+    empirical = N / t[-1]
+    assert empirical == pytest.approx(proc.mean_rate(), rel=0.05)
+
+
+def test_mmpp_with_off_rate_smooths():
+    """rate_off == rate_on removes the modulation: CV returns to ~1."""
+    ia = _inter_arrivals(MMPP(rate_on=1.0, rate_off=1.0))
+    assert coefficient_of_variation(ia) == pytest.approx(1.0, abs=0.05)
+
+
+def test_mmpp_deterministic_and_prefix_stable():
+    m = TrafficModel(arrivals=MMPP())
+    a = m.arrival_times(SEED, 1024)
+    assert np.array_equal(a, m.arrival_times(SEED, 1024))
+    assert np.array_equal(m.arrival_times(SEED, 2048)[:1024], a)
+    assert np.all(np.diff(a) >= 0)
+
+
+# ------------------------------------------------------------ closed loop ---
+
+def test_closed_loop_has_no_clock():
+    cl = ClosedLoop()
+    assert not cl.open_loop
+    with pytest.raises(TypeError):
+        cl.times(np.random.default_rng(0), 4)
+    with pytest.raises(TypeError):
+        cl.mean_rate()
+    with pytest.raises(TypeError):
+        record(TrafficModel(), seed=SEED, n=4, n_dests=4)
+
+
+# ---------------------------------------------------------- record/replay ---
+
+def test_record_replay_round_trip():
+    model = TrafficModel(dist=Zipf(exponent=1.2),
+                         arrivals=Poisson(rate=0.5))
+    trace = record(model, seed=SEED, n=512, n_dests=16, src=2)
+    replay = replay_model(trace)
+    # replay reproduces the recording exactly, for any seed/source
+    t = replay.arrival_times(999, 512, src=7)
+    d = replay.destinations(999, 512, 16, src=7)
+    assert np.array_equal(t, np.asarray(trace.times))
+    assert np.array_equal(d, np.asarray(trace.destinations))
+    # ... and matches what the original model drew
+    assert np.array_equal(t, model.arrival_times(SEED, 512, src=2))
+    assert np.array_equal(d, model.destinations(SEED, 512, 16, src=2))
+
+
+def test_trace_json_round_trip():
+    model = TrafficModel(dist=Uniform(), arrivals=Poisson(rate=1.0))
+    trace = record(model, seed=SEED, n=64, n_dests=8)
+    again = Trace.from_json(trace.to_json())
+    assert again == trace
+    assert len(again) == 64
+
+
+def test_trace_arrivals_bounds():
+    ta = TraceArrivals(schedule=(1.0, 2.0, 5.0))
+    assert np.array_equal(ta.times(np.random.default_rng(0), 2),
+                          [1.0, 2.0])
+    with pytest.raises(ValueError):
+        ta.times(np.random.default_rng(0), 4)
+    with pytest.raises(ValueError):
+        TraceArrivals(schedule=())
+    with pytest.raises(ValueError):
+        TraceArrivals(schedule=(2.0, 1.0))
+    assert ta.mean_rate() == pytest.approx(2 / 4.0)
+
+
+# -------------------------------------------------------------- registry ---
+
+def test_registry_round_trip():
+    assert set(ARRIVALS) == {"closed", "poisson", "mmpp", "trace"}
+    for name in ("closed", "poisson", "mmpp"):
+        proc = make_arrivals(name)
+        assert make_arrivals(name, **proc.params) == proc
+    with pytest.raises(KeyError):
+        make_arrivals("nope")
+    with pytest.raises(ValueError):
+        make_arrivals("poisson", rate=0.0)
+    with pytest.raises(ValueError):
+        make_arrivals("mmpp", mean_on=-1.0)
