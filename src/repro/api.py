@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-__api_version__ = "1.1.0"
+__api_version__ = "1.2.0"
 
 __all__ = [
     "__api_version__",
@@ -210,6 +210,7 @@ def run_scaleout(*, workloads: Optional[Sequence[str]] = None,
                  fabrics: Optional[Sequence[str]] = None,
                  seed: int = 2017, flow_impl: str = "fast",
                  plan: Optional["FaultPlan"] = None,
+                 shards: int = 1,
                  options: Optional[RunOptions] = None,
                  **overrides: Any) -> "Table":
     """The 64-1024-node cluster projection (the ``fig_scaleout``
@@ -217,13 +218,17 @@ def run_scaleout(*, workloads: Optional[Sequence[str]] = None,
 
     Sweeps GUPS, BFS and FFT across node counts on both fabrics using
     the pooled fast flow engines; a :class:`~repro.faults.FaultPlan`
-    installs per point (worker-safe).  The full default grid takes tens
-    of minutes serial — pass ``options=RunOptions(workers=N)`` and a
-    cache to make iteration cheap.
+    installs per point (worker-safe).  ``shards > 1`` runs each point
+    on the multi-process PDES engine (:mod:`repro.sim.pdes`) — results
+    stay bit-identical while large node counts (4096+) split their
+    wall-clock across cores; prefer it over ``workers`` when the grid
+    has few, large points.  The full default grid takes tens of minutes
+    serial — pass ``options=RunOptions(workers=N)`` and a cache to make
+    iteration cheap.
     """
     from repro.core.experiments import REGISTRY
     kwargs: Dict[str, Any] = dict(seed=seed, flow_impl=flow_impl,
-                                  **overrides)
+                                  shards=shards, **overrides)
     if workloads is not None:
         kwargs["workloads"] = tuple(workloads)
     if nodes is not None:
@@ -272,7 +277,7 @@ def verify_goldens(*, mode: str = "compare",
 
     ``mode="compare"`` recomputes the pinned figure configs and diffs
     them cell-by-cell against the committed snapshots (plus the
-    four-axis determinism harness for any requested ``axes``);
+    five-axis determinism harness for any requested ``axes``);
     ``mode="record"`` refreshes the snapshots instead.
     """
     from repro.golden import (GOLDEN_CONFIGS, GoldenStore,

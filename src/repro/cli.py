@@ -11,6 +11,8 @@ Usage::
     python -m repro.cli figures --figs fig4,fig6 --workers 2
     python -m repro.cli sweep --name gups --nodes 4,8,16
     python -m repro.cli scaleout --nodes 64,128,256,512,1024 --workers 4
+    python -m repro.cli scaleout --nodes 4096 --shards 4  # sharded PDES
+    python -m repro.cli bench                        # perf trajectory
     python -m repro.cli cache --cache .repro-cache   # stats / --clear
     python -m repro.cli faults --drops 0,0.02,0.05 --workloads gups
     python -m repro.cli skew --exponents 0,0.6,1.2,1.8 --nodes 4
@@ -235,7 +237,48 @@ def cmd_scaleout(args) -> Table:
                             nodes=tuple(args.nodes),
                             fabrics=tuple(args.fabrics),
                             seed=args.seed, flow_impl=args.flow_impl,
+                            shards=args.shards,
                             options=_options(args))
+
+
+def cmd_bench(args):
+    """The measured-performance trajectory from BENCH_exec.json: one row
+    per recorded benchmark with its baseline and best wall-clock
+    seconds and the speedup ratio.  The file is maintained by the perf
+    PRs (see benchmarks/test_perf_regression.py, which guards these
+    floors nightly)."""
+    import json
+    from pathlib import Path
+    path = Path(args.bench_file)
+    if not path.exists():
+        print(f"bench: no {path} here (run from the repo root, or pass "
+              f"--bench-file)", file=sys.stderr)
+        return 2
+    data = json.loads(path.read_text())
+    base_keys = ("reference_seconds", "serial_seconds", "cold_seconds",
+                 "pre_pr2_seconds")
+    best_keys = ("fast_seconds", "sharded_seconds", "parallel_seconds",
+                 "warm_seconds", "post_pr2_seconds")
+    t = Table(f"Execution-performance trajectory ({path})",
+              ["benchmark", "baseline_s", "best_s", "ratio", "date"])
+    for name, entry in data.items():
+        if name == "meta" or not isinstance(entry, dict):
+            continue
+        base = next((entry[k] for k in base_keys if k in entry), None)
+        best = next((entry[k] for k in best_keys if k in entry), None)
+        if base is None:
+            base = next((v for k, v in entry.items()
+                         if k.endswith("seconds")
+                         and isinstance(v, (int, float))), None)
+        ratio = entry.get("speedup")
+        if ratio is None and base and best:
+            ratio = round(base / best, 2)
+        t.add_row(name,
+                  "-" if base is None else base,
+                  "-" if best is None else best,
+                  "-" if ratio is None else ratio,
+                  entry.get("date", "-"))
+    return t
 
 
 def cmd_faults(args) -> Table:
@@ -261,7 +304,7 @@ def cmd_skew(args) -> Table:
 
 def cmd_verify(args) -> int:
     """Golden-results gate: record or compare figure snapshots, run the
-    four-axis determinism harness, and track flow-vs-cycle calibration
+    five-axis determinism harness, and track flow-vs-cycle calibration
     drift.  See docs/ci.md for the workflow."""
     import repro.api as api
     from repro.golden import (AXES, GOLDEN_CONFIGS, append_record,
@@ -351,6 +394,7 @@ COMMANDS = {
     "spmv": cmd_spmv,
     "scaling": cmd_scaling,
     "scaleout": cmd_scaleout,
+    "bench": cmd_bench,
     "sweep": cmd_sweep,
     "figures": cmd_figures,
     "cache": cmd_cache,
@@ -418,6 +462,13 @@ def build_parser() -> argparse.ArgumentParser:
                    default="fast", dest="flow_impl",
                    help="scaleout: flow-engine implementation "
                         "(default fast; both are bit-identical)")
+    p.add_argument("--shards", type=int, default=1,
+                   help="scaleout: PDES shard count — partitions each "
+                        "point's simulation across OS processes, "
+                        "bit-identical to serial (default 1)")
+    p.add_argument("--bench-file", default="BENCH_exec.json",
+                   metavar="FILE",
+                   help="bench: performance-trajectory JSON to print")
     p.add_argument("--exponents",
                    type=lambda s: [float(x) for x in s.split(",") if x],
                    default=None,

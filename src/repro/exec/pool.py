@@ -6,7 +6,10 @@
 table assembled from the results is bit-identical to a serial run.
 
 Dispatch is chunked (several points per task) to amortise pickling and
-process wake-up over short simulation points.  A worker exception is
+process wake-up over short simulation points — unless the grid's
+point-cost proxy says the points are heterogeneous, in which case
+chunks shrink to one point each and the pool balances dynamically
+(:func:`_auto_chunksize`).  A worker exception is
 re-raised in the parent exactly as the runner raised it; the serial
 path is used when ``workers <= 1``, when there is at most one point,
 when the runner cannot be pickled (lambdas, closures), or when the
@@ -52,6 +55,48 @@ def _serial(runner: Callable[..., Mapping[str, Any]],
     return [_run_one(runner, params) for params in points]
 
 
+#: max/min point-cost spread above which chunking is abandoned for
+#: size-1 dynamic dispatch (see :func:`_auto_chunksize`).
+COST_SPREAD_THRESHOLD = 4.0
+
+
+def _point_cost(params: Mapping[str, Any]) -> float:
+    """Crude relative-cost proxy for one point: the product of its
+    positive numeric parameters (node counts, problem sizes, iteration
+    counts all multiply simulated work).  Only *relative* spread across
+    a grid is ever used, so the absolute scale is meaningless.  ``seed``
+    is the one numeric knob that is cost-neutral by construction, so it
+    is excluded."""
+    cost = 1.0
+    for k, v in params.items():
+        if k == "seed" or isinstance(v, bool) \
+                or not isinstance(v, (int, float)):
+            continue
+        if v > 1:
+            cost *= float(v)
+    return cost
+
+
+def _auto_chunksize(points: Sequence[Mapping[str, Any]],
+                    workers: int) -> int:
+    """Chunk size for a grid: a handful of tasks per worker normally,
+    but **1** when the cost proxy says the points are heterogeneous.
+
+    Chunks are contiguous, so on a mixed grid (a 64-node point chunked
+    with a 1024-node point) static chunking strands the small points
+    behind the big one on a single worker; size-1 chunks let the pool
+    dispatch dynamically — whichever worker frees up takes the next
+    point — at the price of one pickle round-trip per point, which the
+    heterogeneity implies is negligible next to the big points anyway.
+    Ordered reassembly is index-based and unaffected.
+    """
+    costs = [_point_cost(p) for p in points]
+    lo, hi = min(costs), max(costs)
+    if lo > 0.0 and hi / lo > COST_SPREAD_THRESHOLD:
+        return 1
+    return max(1, len(points) // (workers * 4))
+
+
 def run_points(runner: Callable[..., Mapping[str, Any]],
                points: Sequence[Dict[str, Any]],
                workers: int = 1,
@@ -71,7 +116,7 @@ def run_points(runner: Callable[..., Mapping[str, Any]],
 
     workers = min(workers, len(points))
     if chunksize <= 0:
-        chunksize = max(1, len(points) // (workers * 4))
+        chunksize = _auto_chunksize(points, workers)
     indexed = list(enumerate(points))
     chunks = [indexed[i:i + chunksize]
               for i in range(0, len(indexed), chunksize)]

@@ -3,12 +3,15 @@
 This module generalises the per-feature differential tests that grew up
 with the obs, exec, and faults layers (obs on/off bit-identity, serial
 vs parallel pools, warm-cache equivalence, all-zero fault plans) into
-**one driver**: every golden figure is re-run along four axes —
+**one driver**: every golden figure is re-run along five axes —
 
 * ``workers`` — serial in-process vs a two-worker process pool,
 * ``cache``  — cold run vs a warm re-run through a result cache,
 * ``obs``    — metrics collection off vs on,
-* ``faults`` — no fault plan vs an installed all-zero :class:`FaultPlan`
+* ``faults`` — no fault plan vs an installed all-zero :class:`FaultPlan`,
+* ``shards`` — serial event loop vs the two-shard PDES runner
+  (:mod:`repro.sim.pdes`; figures on the reference flow engine take the
+  documented fallback path and must come back identical too)
 
 — and every axis must reproduce the baseline table **bit-identically**
 (exact policy, not the per-figure tolerance: these are same-process
@@ -67,8 +70,8 @@ GOLDEN_CONFIGS: Dict[str, Dict[str, Any]] = {
                  "table_words": 1 << 10, "n_updates": 1 << 8},
 }
 
-#: The four determinism axes, in report order.
-AXES: Tuple[str, ...] = ("workers", "cache", "obs", "faults")
+#: The five determinism axes, in report order.
+AXES: Tuple[str, ...] = ("workers", "cache", "obs", "faults", "shards")
 
 
 def _golden_point(fig: str, **params: Any) -> Table:
@@ -256,6 +259,16 @@ def _axis_faults(fig: str, params: Dict[str, Any]) -> List[Table]:
         return [_golden_point(fig, **params)]
 
 
+def _axis_shards(fig: str, params: Dict[str, Any]) -> List[Table]:
+    """The figure under a scoped two-shard PDES override: every run on
+    the fast flow engines executes on the multi-process runner; runs the
+    sharded transports cannot split exactly fall back to serial — either
+    way the table must be bit-identical."""
+    from repro.sim import pdes
+    with pdes.session(2):
+        return [_golden_point(fig, **params)]
+
+
 def check_axis(fig: str, axis: str, baseline: Optional[Table] = None,
                cache_dir: Optional[str] = None,
                **overrides: Any) -> AxisReport:
@@ -278,6 +291,8 @@ def check_axis(fig: str, axis: str, baseline: Optional[Table] = None,
                 candidates = _axis_cache(fig, params, tmp)
     elif axis == "obs":
         candidates = _axis_obs(fig, params)
+    elif axis == "shards":
+        candidates = _axis_shards(fig, params)
     else:
         candidates = _axis_faults(fig, params)
     diffs: List[CellDiff] = []

@@ -1,0 +1,137 @@
+"""Deferred global pricing for the sharded flow engines.
+
+Both fast fabrics have exactly one piece of *global* state that couples
+shards at transmit time:
+
+* Data Vortex — the busy-port census behind the deflection penalty
+  (``FlowNetwork._load``);
+* InfiniBand — the channel next-free-time accumulators behind static
+  -routing contention (``IBFabric._free``).
+
+The sharded engines therefore never price a transfer inline.  Each
+transmit logs one *ledger row* and the hub replays the merged rows on a
+persistent replayer at every window barrier, in the deterministic order
+
+    (t_tx, origin, lseq, shard_id)
+
+which reconstructs the serial engine's transmit-call order (serial
+processes same-instant cascades in rank order; ``lseq`` is the shard's
+sequence number burned at the call, monotone within a cascade).  The
+replayers below apply, per row, *exactly* the state updates and float
+operations of the serial engines — same operations, same order, same
+rounding — so the prices they return are bit-identical to serial.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import List, Tuple
+
+from repro.dv.config import DVConfig
+from repro.ib.config import IBConfig
+
+#: DV ledger row: (t_tx, origin, lseq, src, mark_end)
+DVRow = Tuple[float, int, int, int, float]
+#: IB ledger row: (t_tx, origin, lseq, src, dst, nbytes)
+IBRow = Tuple[float, int, int, int, int, int]
+
+
+def merge_rows(rows_by_shard: List[list]) -> List[tuple]:
+    """Merge per-shard ledger rows into global replay order.
+
+    Returns ``(t_tx, origin, lseq, shard_id, local_index, row)`` tuples
+    sorted by the deterministic key; ``(shard_id, local_index)`` lets
+    the hub route each row's price back to the shard that logged it.
+    """
+    merged = []
+    for sid, rows in enumerate(rows_by_shard):
+        for k, row in enumerate(rows):
+            merged.append((row[0], row[1], row[2], sid, k, row))
+    merged.sort(key=lambda e: e[:4])
+    return merged
+
+
+class DVReplayer:
+    """Replays the serial busy-port state machine for priced rows.
+
+    Mirrors ``FlowNetwork.transmit`` steps 1-2: record the source port's
+    new ``inject_free`` mark, then evaluate ``_load(t_tx)`` with lazy
+    mark retirement.  One instance persists across all windows of a run
+    — its heap and flags are exactly the serial network's at every row.
+    """
+
+    def __init__(self, config: DVConfig, n_ports: int) -> None:
+        cfg = config.scaled_to_ports(n_ports)
+        self.n_ports = n_ports
+        self._defl = cfg.deflection_hops_per_load
+        self._inject_free = [0.0] * n_ports
+        self._port_busy = [False] * n_ports
+        self._busy_ports = 0
+        self._busy_heap: list = []
+
+    def price(self, t_tx: float, src: int, mark_end: float) -> float:
+        """Deflection penalty the serial engine would compute for this
+        transmit (``deflection_hops_per_load * _load(t_tx)``)."""
+        self._inject_free[src] = mark_end
+        if not self._port_busy[src]:
+            self._port_busy[src] = True
+            self._busy_ports += 1
+        heappush(self._busy_heap, (mark_end, src))
+        heap = self._busy_heap
+        while heap and heap[0][0] <= t_tx:
+            _, port = heappop(heap)
+            if self._port_busy[port] and self._inject_free[port] <= t_tx:
+                self._port_busy[port] = False
+                self._busy_ports -= 1
+        return self._defl * (self._busy_ports / self.n_ports)
+
+    def price_rows(self, rows: List[DVRow]) -> List[float]:
+        return [self.price(r[0], r[3], r[4]) for r in rows]
+
+
+class _StoppedEngine:
+    """Minimal stand-in so a fabric can be used as a pure route oracle."""
+
+    now = 0.0
+
+
+class IBReplayer:
+    """Replays the serial channel-accumulator pricing for IB rows.
+
+    Owns a throwaway :class:`~repro.ib.fastfabric.FastIBFabric` purely
+    as a route oracle (``_cached_path`` / ``hops`` are pure functions of
+    the pair) plus its own free-time dict, and accumulates
+    ``total_queue_wait_s`` in serial row order — float addition is not
+    associative, so the wait total must be summed here, not per shard.
+    """
+
+    def __init__(self, config: IBConfig, n_nodes: int,
+                 contention: bool = True) -> None:
+        from repro.ib.fastfabric import FastIBFabric
+        self._oracle = FastIBFabric(_StoppedEngine(), config, n_nodes,
+                                    contention=contention)
+        self._cfg = self._oracle.config
+        self._free: dict = {}
+        self.total_queue_wait_s = 0.0
+
+    def price(self, t_tx: float, src: int, dst: int, nbytes: int) -> float:
+        """Arrival time the serial engine would compute for this
+        transfer (faults are never active on the sharded path)."""
+        cfg = self._cfg
+        path = self._oracle._cached_path(src, dst)
+        occupancy = max(nbytes / cfg.effective_bw, cfg.msg_gap_s)
+        free = self._free
+        start = t_tx
+        for ch in path:
+            t = free.get(ch, 0.0)
+            if t > start:
+                start = t
+        self.total_queue_wait_s += start - t_tx
+        busy_until = start + occupancy
+        for ch in path:
+            free[ch] = busy_until
+        return (start + occupancy + 0.0 + cfg.wire_latency_s
+                + self._oracle.hops(src, dst) * cfg.hop_latency_s)
+
+    def price_rows(self, rows: List[IBRow]) -> List[float]:
+        return [self.price(r[0], r[3], r[4], r[5]) for r in rows]

@@ -1,0 +1,159 @@
+"""Compact cross-process encoding for DV delivery effects.
+
+A 4096-node GUPS epoch ships millions of tiny
+:class:`~repro.dv.vic.MemWrite` / :class:`~repro.dv.vic.FifoPush`
+effects between shards; pickling them one object at a time would cost
+more than the simulation itself.  ``pack_effects`` flattens a list of
+effects into a handful of numpy arrays (one pipe write, C-speed), and
+``unpack_effect`` rebuilds effect ``i`` as zero-copy views into the
+pools.  Reconstruction is behaviourally exact: the VIC dispatch only
+reads ``addrs``/``values``/``counter``/``n_packets``, and the API layer
+guarantees the canonical dtypes (``int64`` addrs, ``uint64`` values) the
+fast path requires — anything else (``Query``, odd dtypes, foreign
+payload types) falls back to per-item pickle.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, List, Optional
+
+import numpy as np
+
+from repro.dv.vic import CounterDec, CounterSet, FifoPush, MemWrite
+
+CODE_NONE = 0
+CODE_MEMWRITE = 1
+CODE_FIFOPUSH = 2
+CODE_CTRDEC = 3
+CODE_CTRSET = 4
+CODE_PICKLE = 5
+
+_I64 = np.dtype(np.int64)
+_U64 = np.dtype(np.uint64)
+_EMPTY_I64 = np.empty(0, np.int64)
+_EMPTY_U64 = np.empty(0, np.uint64)
+
+
+class PackedEffects:
+    """Column-oriented encoding of a list of delivery effects."""
+
+    __slots__ = ("code", "alen", "vlen", "c1", "c2",
+                 "addr_pool", "val_pool", "blobs")
+
+    def __init__(self, code, alen, vlen, c1, c2,
+                 addr_pool, val_pool, blobs) -> None:
+        self.code = code          # u8[n]   effect kind
+        self.alen = alen          # i64[n]  addrs length
+        self.vlen = vlen          # i64[n]  values length
+        self.c1 = c1              # i64[n]  counter / index (-1 = None)
+        self.c2 = c2              # i64[n]  count / value
+        self.addr_pool = addr_pool
+        self.val_pool = val_pool
+        self.blobs = blobs        # Optional[bytes]: pickled {i: effect}
+
+    def __len__(self) -> int:
+        return self.code.size
+
+
+def _packable_mem(e: MemWrite) -> bool:
+    return (isinstance(e.addrs, np.ndarray) and e.addrs.dtype == _I64
+            and isinstance(e.values, np.ndarray) and e.values.dtype == _U64
+            and e.addrs.ndim == 1 and e.values.ndim == 1)
+
+
+def _packable_fifo(e: FifoPush) -> bool:
+    return (isinstance(e.values, np.ndarray) and e.values.dtype == _U64
+            and e.values.ndim == 1)
+
+
+def pack_effects(effects: List[Any]) -> PackedEffects:
+    n = len(effects)
+    code = np.zeros(n, np.uint8)
+    alen = np.zeros(n, np.int64)
+    vlen = np.zeros(n, np.int64)
+    c1 = np.full(n, -1, np.int64)
+    c2 = np.zeros(n, np.int64)
+    a_parts: List[np.ndarray] = []
+    v_parts: List[np.ndarray] = []
+    oddballs: dict = {}
+    for i, e in enumerate(effects):
+        t = type(e)
+        if t is MemWrite and _packable_mem(e):
+            code[i] = CODE_MEMWRITE
+            alen[i] = e.addrs.size
+            vlen[i] = e.values.size
+            if e.counter is not None:
+                c1[i] = e.counter
+            a_parts.append(e.addrs)
+            v_parts.append(e.values)
+        elif t is FifoPush and _packable_fifo(e):
+            code[i] = CODE_FIFOPUSH
+            vlen[i] = e.values.size
+            if e.counter is not None:
+                c1[i] = e.counter
+            v_parts.append(e.values)
+        elif t is CounterDec:
+            code[i] = CODE_CTRDEC
+            c1[i] = e.index
+            c2[i] = e.count
+        elif t is CounterSet:
+            code[i] = CODE_CTRSET
+            c1[i] = e.index
+            c2[i] = e.value
+        elif e is None:
+            code[i] = CODE_NONE
+        else:
+            code[i] = CODE_PICKLE
+            oddballs[i] = e
+    addr_pool = np.concatenate(a_parts) if a_parts else _EMPTY_I64
+    val_pool = np.concatenate(v_parts) if v_parts else _EMPTY_U64
+    blobs = pickle.dumps(oddballs, -1) if oddballs else None
+    return PackedEffects(code, alen, vlen, c1, c2,
+                         addr_pool, val_pool, blobs)
+
+
+class _Unpacker:
+    """Stateful decoder: pool cursors advance in pack order, so effects
+    must be decoded exactly once, in index order — which is how the
+    receiving shard schedules them."""
+
+    __slots__ = ("p", "_a", "_v", "_odd")
+
+    def __init__(self, packed: PackedEffects) -> None:
+        self.p = packed
+        self._a = 0
+        self._v = 0
+        self._odd: Optional[dict] = (
+            pickle.loads(packed.blobs) if packed.blobs is not None else None)
+
+    def take(self, i: int) -> Any:
+        p = self.p
+        c = p.code[i]
+        if c == CODE_MEMWRITE:
+            na, nv = int(p.alen[i]), int(p.vlen[i])
+            addrs = p.addr_pool[self._a:self._a + na]
+            values = p.val_pool[self._v:self._v + nv]
+            self._a += na
+            self._v += nv
+            ctr = int(p.c1[i])
+            return MemWrite(addrs=addrs, values=values,
+                            counter=ctr if ctr >= 0 else None)
+        if c == CODE_FIFOPUSH:
+            nv = int(p.vlen[i])
+            values = p.val_pool[self._v:self._v + nv]
+            self._v += nv
+            ctr = int(p.c1[i])
+            return FifoPush(values=values,
+                            counter=ctr if ctr >= 0 else None)
+        if c == CODE_CTRDEC:
+            return CounterDec(int(p.c1[i]), int(p.c2[i]))
+        if c == CODE_CTRSET:
+            return CounterSet(int(p.c1[i]), int(p.c2[i]))
+        if c == CODE_NONE:
+            return None
+        return self._odd[i]
+
+
+def unpacker(packed: PackedEffects) -> _Unpacker:
+    return _Unpacker(packed)

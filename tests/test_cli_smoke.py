@@ -33,9 +33,40 @@ TINY = {
 
 
 def test_smoke_table_covers_every_subcommand():
-    """If a new subcommand appears it must get a smoke entry (cache and
-    verify have dedicated tests below; list is trivial)."""
-    assert sorted(cli.COMMANDS) == sorted([*TINY, "cache", "verify"])
+    """If a new subcommand appears it must get a smoke entry (bench,
+    cache and verify have dedicated tests below; list is trivial)."""
+    assert sorted(cli.COMMANDS) == sorted(
+        [*TINY, "bench", "cache", "verify"])
+
+
+def test_bench_prints_performance_trajectory(tmp_path, capsys):
+    bench = tmp_path / "BENCH_exec.json"
+    bench.write_text(json.dumps({
+        "meta": {"python": "3.x"},
+        "flow_engine_ab_gups256": {
+            "nodes": 256, "reference_seconds": 12.0,
+            "fast_seconds": 3.0, "speedup": 4.0, "date": "2026-07-01"},
+        "pdes_ab_gups4096": {
+            "nodes": 4096, "serial_seconds": 100.0,
+            "sharded_seconds": 25.0, "speedup": 4.0},
+    }))
+    assert cli.main(["bench", "--bench-file", str(bench)]) == 0
+    out = capsys.readouterr().out
+    assert "flow_engine_ab_gups256" in out
+    assert "pdes_ab_gups4096" in out
+    assert "4.0" in out  # the speedup column
+
+
+def test_bench_missing_file_exits_two(tmp_path, capsys):
+    missing = tmp_path / "nope.json"
+    assert cli.main(["bench", "--bench-file", str(missing)]) == 2
+    assert "bench" in capsys.readouterr().err
+
+
+def test_bench_reads_repo_bench_file(capsys):
+    """The committed BENCH_exec.json renders without crashing."""
+    assert cli.main(["bench"]) == 0
+    assert "benchmark" in capsys.readouterr().out
 
 
 @pytest.mark.parametrize("command", sorted(TINY))

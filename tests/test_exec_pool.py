@@ -6,7 +6,7 @@ import pytest
 from repro.core.scaling import switch_scaling
 from repro.core.sweep import Sweep
 from repro.exec import Executor
-from repro.exec.pool import run_points
+from repro.exec.pool import _auto_chunksize, run_points
 
 
 def point_runner(a, b=0):
@@ -60,6 +60,37 @@ def test_unpicklable_runner_falls_back_to_serial():
 def test_timings_are_reported_per_point():
     timed = run_points(point_runner, GRID[:4], workers=1)
     assert all(dt >= 0 for dt, _ in timed)
+
+
+# --------------------------------------------- heterogeneous-cost grids ---
+
+def test_homogeneous_grid_keeps_chunked_dispatch():
+    pts = [{"n_nodes": 64, "seed": s} for s in range(32)]
+    assert _auto_chunksize(pts, workers=4) > 1
+
+
+def test_heterogeneous_grid_switches_to_size_one_chunks():
+    # a 64-node point chunked with a 1024-node point: 16x cost spread
+    pts = [{"n_nodes": n, "seed": 1} for n in (64, 128, 256, 512, 1024)] * 8
+    assert _auto_chunksize(pts, workers=4) == 1
+
+
+def test_non_numeric_and_bool_params_do_not_fake_a_spread():
+    pts = [{"workload": w, "fast": f, "n_nodes": 64, "rep": r}
+           for w in ("gups", "bfs", "fft") for f in (True, False)
+           for r in (2, 2, 2, 2)]
+    assert _auto_chunksize(pts, workers=2) > 1
+
+
+def test_heterogeneous_costs_reassemble_in_point_order():
+    """The size-1 dynamic path must not reorder results: a grid whose
+    costs vary wildly (so _auto_chunksize picks 1) comes back in point
+    order even though workers finish out of order."""
+    pts = [{"a": a, "b": b} for a, b in
+           [(1000, 2), (1, 2), (500, 3), (2, 2), (900, 5), (3, 2)]]
+    assert _auto_chunksize(pts, workers=3) == 1
+    out = [r for _, r in run_points(point_runner, pts, workers=3)]
+    assert out == [point_runner(**p) for p in pts]
 
 
 # ------------------------------------------------------------- Executor ---

@@ -1,0 +1,110 @@
+"""Edge cases of the topology-aware PDES partitioner.
+
+``partition_ports`` is a pure function of ``(n_nodes, shards,
+topology-unit)``: ports are grouped by the topology unit the sharded
+transports cannot split (a DV cylinder angle-group, an IB leaf switch)
+and the groups are dealt contiguously across shards.  These tests pin
+the properties the runner relies on: every port assigned exactly once,
+shard ids contiguous from zero, non-dividing shard counts handled,
+single-shard degenerate identical to serial (all zeros), and stability
+of the labelling under growing node counts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.scaling import partition_ports
+from repro.dv.config import DVConfig
+from repro.ib.config import IBConfig
+
+
+def _check_valid(shard_of, n_nodes, shards):
+    assert len(shard_of) == n_nodes
+    assert shard_of[0] == 0
+    # monotone non-decreasing (contiguous ranges), steps of at most 1
+    diffs = np.diff(shard_of)
+    assert (diffs >= 0).all() and (diffs <= 1).all()
+    assert int(shard_of[-1]) + 1 <= shards
+
+
+@pytest.mark.parametrize("fabric", ["dv", "ib"])
+@pytest.mark.parametrize("n_nodes,shards", [
+    (8, 2), (8, 3), (12, 4), (16, 3), (32, 5), (1024, 7), (4096, 4),
+])
+def test_partition_is_valid_and_balanced(fabric, n_nodes, shards):
+    shard_of = partition_ports(n_nodes, shards, fabric=fabric)
+    _check_valid(shard_of, n_nodes, shards)
+    # balance: no shard holds more than ceil plus one topology unit
+    counts = np.bincount(shard_of)
+    unit = (DVConfig().scaled_to_ports(n_nodes).angles if fabric == "dv"
+            else IBConfig().leaf_size)
+    assert counts.max() - counts.min() <= unit
+
+
+def test_single_shard_degenerate_is_all_zeros():
+    for fabric in ("dv", "ib"):
+        shard_of = partition_ports(32, 1, fabric=fabric)
+        assert (shard_of == 0).all()
+
+
+def test_non_dividing_shard_count_covers_every_port():
+    shard_of = partition_ports(12, 5, fabric="ib")
+    _check_valid(shard_of, 12, 5)
+    assert set(np.unique(shard_of)) <= set(range(5))
+
+
+def test_more_shards_than_topology_groups_collapses():
+    # 4 ports / leaf_size 8 = one leaf: cannot be split at all
+    shard_of = partition_ports(4, 16, fabric="ib")
+    assert (shard_of == 0).all()
+
+
+def test_dv_respects_angle_group_boundaries():
+    cfg = DVConfig(height=4, angles=4)  # 16 ports, 4 angle-groups
+    shard_of = partition_ports(16, 2, fabric="dv", dv=cfg)
+    groups = np.arange(16) // 4
+    for g in range(4):
+        members = shard_of[groups == g]
+        assert (members == members[0]).all(), (
+            f"angle-group {g} split across shards")
+
+
+def test_ib_respects_leaf_boundaries():
+    cfg = IBConfig(leaf_size=4)
+    shard_of = partition_ports(24, 3, fabric="ib", ib=cfg)
+    groups = np.arange(24) // 4
+    for g in range(6):
+        members = shard_of[groups == g]
+        assert (members == members[0]).all(), (
+            f"leaf {g} split across shards")
+
+
+def test_relabelling_is_stable():
+    """The labelling is a pure function of the argument *values*: the
+    same call is bit-identical across invocations and across config
+    object identities, and shard ids are always a contiguous relabelling
+    0..k-1 with no gaps (the runner sizes its process fleet from
+    ``shard_of[-1] + 1``)."""
+    a = partition_ports(128, 4, fabric="ib", ib=IBConfig())
+    b = partition_ports(128, 4, fabric="ib", ib=IBConfig())
+    assert (a == b).all()
+    used = np.unique(a)
+    assert (used == np.arange(len(used))).all(), "shard ids have gaps"
+    c = partition_ports(96, 5, fabric="dv", dv=DVConfig())
+    used = np.unique(c)
+    assert (used == np.arange(len(used))).all()
+
+
+def test_mpi_alias_matches_ib():
+    a = partition_ports(48, 3, fabric="ib")
+    b = partition_ports(48, 3, fabric="mpi")
+    assert (a == b).all()
+
+
+def test_invalid_arguments_raise():
+    with pytest.raises(ValueError):
+        partition_ports(0, 2)
+    with pytest.raises(ValueError):
+        partition_ports(8, 0)
+    with pytest.raises(ValueError):
+        partition_ports(8, 2, fabric="ethernet")

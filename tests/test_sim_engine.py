@@ -177,3 +177,36 @@ def test_run_process_detects_deadlock():
 
     with pytest.raises(SimulationError, match="did not finish"):
         eng.run_process(body(eng))
+
+
+def test_simultaneous_events_fire_in_insertion_order():
+    """Property: events scheduled for the same instant fire in exactly
+    the order they were enqueued, for any interleaving of ``timeout``
+    and ``call_in`` scheduling and any grouping of instants.  This is
+    the tie-determinism invariant the fast/reference and sharded/serial
+    bit-identity guarantees rest on (see Engine's docstring).
+    """
+    import random
+
+    for seed in range(100):
+        rng = random.Random(seed)
+        eng = Engine()
+        fired = []
+        expected = []
+        # a handful of distinct instants, each receiving several events
+        instants = sorted(rng.sample(range(1, 50), rng.randint(2, 6)))
+        order = [t for t in instants
+                 for _ in range(rng.randint(2, 5))]
+        rng.shuffle(order)  # interleave scheduling across instants
+        for i, t in enumerate(order):
+            tag = (t, i)
+            if rng.random() < 0.5:
+                eng.call_in(float(t), fired.append, tag)
+            else:
+                ev = eng.timeout(float(t), value=tag)
+                ev.add_callback(lambda e, tag=tag: fired.append(tag))
+        # expected: sort by time only, ties in insertion (i) order
+        expected = sorted(((t, i) for i, t in enumerate(order)),
+                          key=lambda ti: (ti[0], ti[1]))
+        eng.run()
+        assert fired == expected, f"tie order broken at seed={seed}"
