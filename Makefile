@@ -13,8 +13,8 @@ FORMATTED = src/repro/golden tests/test_golden_store.py \
             tests/test_golden_policy.py tests/test_golden_harness.py \
             tests/test_golden_drift.py tests/test_cli_smoke.py
 
-.PHONY: test test-all test-exec test-faults test-traffic bench obs \
-        help lint verify golden-record ci scaleout skew
+.PHONY: test test-all test-exec test-faults test-traffic test-agg \
+        bench obs help lint verify golden-record ci scaleout skew agg
 
 help:
 	@echo "make ci            - what CI runs: lint -> tier-1 tests -> golden gate"
@@ -24,7 +24,9 @@ help:
 	@echo "make test-exec     - executor/cache test suite only"
 	@echo "make test-faults   - fault-injection + reliable-transport suite only"
 	@echo "make test-traffic  - traffic models + statistical validation suite only"
+	@echo "make test-agg      - aggregation runtime suite only (docs/aggregation.md)"
 	@echo "make skew          - fig_skew: GUPS vs destination skew (docs/traffic.md)"
+	@echo "make agg           - fig_agg: aggregated IB vs DV crossover sweep"
 	@echo "make verify        - golden compare + 4-axis determinism harness"
 	@echo "make golden-record - refresh goldens/ after an intentional figure change"
 	@echo "make bench         - perf regression benchmarks; updates BENCH_exec.json"
@@ -66,8 +68,14 @@ test-traffic:
 		tests/test_traffic_arrivals.py \
 		tests/test_traffic_integration.py
 
+test-agg:
+	$(PYTEST) -x -q tests/test_agg.py tests/test_fabric_symmetry.py
+
 skew:
 	$(REPRO) skew --nodes 4
+
+agg:
+	$(REPRO) agg --nodes 8
 
 bench:
 	$(PYTEST) -q -m slow benchmarks/test_perf_regression.py

@@ -264,6 +264,71 @@ def test_skew_sweep_timing_and_degradation_guard(tmp_path):
     })
 
 
+def test_agg_sweep_crossover_and_message_reduction_guard(tmp_path):
+    """Nightly A/B guard for the aggregation runtime (fig_agg): run the
+    watermark-by-skew sweep through a pooled cached executor, assert
+    the parallel run reproduces the serial rows bit-for-bit, and pin
+    the headline physics — at the largest watermark the coalescing
+    must (a) fold at least 20 legacy messages into each wire frame,
+    (b) lift aggregated IB past the un-aggregated Data Vortex on
+    uniform and hot-set traffic while plain IB stays far behind, and
+    (c) still *lose* to DV on steep Zipf: fat frames amortise
+    software overhead, not hot-receiver serialisation.  A regression
+    here means the coalescing stopped fattening frames (watermark
+    plumbing broke) or stopped translating fat frames into throughput
+    (flush/settle path grew per-frame overhead)."""
+    from repro.agg.experiments import agg_table
+
+    kw = dict(nodes=8, exponents=(0.0, 1.8), include_hotset=True,
+              watermarks=(64, 8192))
+
+    t0 = time.perf_counter()
+    serial = agg_table(Executor(), **kw)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    par = agg_table(
+        Executor(workers=2, cache_dir=str(tmp_path / "agg-cache")),
+        **kw)
+    par_s = time.perf_counter() - t0
+
+    assert par.render() == serial.render()
+    rows = {(r[0], r[1]): r for r in serial.rows}
+    hot = next(t for t, _ in rows if t.startswith("hotset"))
+    uniform_big = rows[("zipf(exponent=0.0)", 8192)]
+    steep_big = rows[("zipf(exponent=1.8)", 8192)]
+    hot_big = rows[(hot, 8192)]
+    for row, name in ((uniform_big, "uniform"), (hot_big, "hot-set")):
+        # message reduction: the fat watermark must actually coalesce
+        assert row[6] >= 20.0, (
+            f"{name} message ratio collapsed to {row[6]:.1f}x")
+        # the crossover: aggregated IB catches DV where per-message
+        # overhead is the bottleneck...
+        assert row[5] >= 1.0, (
+            f"aggregated IB fell below DV on {name} ({row[5]:.3f})")
+        # ...while the legacy per-window path stays far behind
+        assert row[3] < 0.5 * row[2], (
+            f"plain IB unexpectedly close to DV on {name} — the "
+            "small-window regime this sweep probes has drifted")
+    # the non-crossover: a hot receiver serialises either way
+    assert steep_big[5] < 1.0, (
+        f"zipf(1.8) crossed over ({steep_big[5]:.3f}) — aggregation "
+        "should not cure destination serialisation")
+    _record("agg_sweep", {
+        "nodes": kw["nodes"],
+        "watermarks": list(kw["watermarks"]),
+        "serial_seconds": round(serial_s, 4),
+        "parallel_seconds": round(par_s, 4),
+        "uniform_ib_agg_over_dv": round(uniform_big[5], 3),
+        "hotset_dv_mups": round(hot_big[2], 2),
+        "hotset_ib_mups": round(hot_big[3], 2),
+        "hotset_ib_agg_mups": round(hot_big[4], 2),
+        "hotset_ib_agg_over_dv": round(hot_big[5], 3),
+        "hotset_message_ratio": round(hot_big[6], 1),
+        "zipf18_ib_agg_over_dv": round(steep_big[5], 3),
+    })
+
+
 def test_pdes_ab_speedup_at_4096_nodes():
     """The nightly A/B guard for the sharded PDES engine: one
     4096-node GUPS projection per execution mode (single-process

@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-__api_version__ = "1.2.0"
+__api_version__ = "1.3.0"
 
 __all__ = [
     "__api_version__",
@@ -42,6 +42,7 @@ __all__ = [
     "run_sweep",
     "run_scaleout",
     "run_skew",
+    "run_agg",
     "verify_goldens",
 ]
 
@@ -265,6 +266,36 @@ def run_skew(*, nodes: int = 4, seed: int = 2017,
         exponents=(tuple(exponents) if exponents is not None
                    else SKEW_EXPONENTS),
         include_hotset=include_hotset, table_words=table_words,
+        n_updates=n_updates, window=window, flow_impl=flow_impl)
+
+
+def run_agg(*, nodes: int = 8, seed: int = 2017,
+            exponents: Optional[Sequence[float]] = None,
+            include_hotset: bool = True,
+            watermarks: Optional[Sequence[int]] = None,
+            routing: str = "direct",
+            table_words: int = 1 << 10, n_updates: int = 1 << 12,
+            window: int = 64, flow_impl: str = "reference",
+            options: Optional[RunOptions] = None) -> "Table":
+    """The ``fig_agg`` experiment: destination-coalescing aggregation
+    (:mod:`repro.agg`) vs fabric choice.
+
+    Sweeps the aggregation watermark against PR 6's destination-skew
+    levels on GUPS with a small look-ahead window; every row compares
+    un-aggregated DV and IB baselines with the aggregated-IB contender
+    (``ib_agg_over_dv >= 1`` marks the crossover where software
+    coalescing catches the Data Vortex).  See docs/aggregation.md.
+    """
+    from repro.agg.experiments import (AGG_EXPONENTS, AGG_WATERMARKS,
+                                       agg_table)
+    return agg_table(
+        _executor(options), nodes=nodes, seed=seed,
+        exponents=(tuple(exponents) if exponents is not None
+                   else AGG_EXPONENTS),
+        include_hotset=include_hotset,
+        watermarks=(tuple(watermarks) if watermarks is not None
+                    else AGG_WATERMARKS),
+        routing=routing, table_words=table_words,
         n_updates=n_updates, window=window, flow_impl=flow_impl)
 
 

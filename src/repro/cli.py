@@ -16,6 +16,7 @@ Usage::
     python -m repro.cli cache --cache .repro-cache   # stats / --clear
     python -m repro.cli faults --drops 0,0.02,0.05 --workloads gups
     python -m repro.cli skew --exponents 0,0.6,1.2,1.8 --nodes 4
+    python -m repro.cli agg --nodes 8 --watermarks 64,1024,8192
     python -m repro.cli verify --compare             # golden gate (CI)
     python -m repro.cli verify --record              # refresh goldens
     python -m repro.cli list
@@ -302,9 +303,22 @@ def cmd_skew(args) -> Table:
                         options=_options(args))
 
 
+def cmd_agg(args) -> Table:
+    """Aggregation crossover sweep (fig_agg): GUPS with the repro.agg
+    destination-coalescing runtime swept across watermarks on IB,
+    un-aggregated DV/IB baselines per skew level.  See
+    docs/aggregation.md."""
+    import repro.api as api
+    return api.run_agg(nodes=min(args.nodes), seed=args.seed,
+                       exponents=args.exponents,
+                       watermarks=args.watermarks,
+                       routing=args.routing,
+                       options=_options(args))
+
+
 def cmd_verify(args) -> int:
     """Golden-results gate: record or compare figure snapshots, run the
-    five-axis determinism harness, and track flow-vs-cycle calibration
+    six-axis determinism harness, and track flow-vs-cycle calibration
     drift.  See docs/ci.md for the workflow."""
     import repro.api as api
     from repro.golden import (AXES, GOLDEN_CONFIGS, append_record,
@@ -401,6 +415,7 @@ COMMANDS = {
     "obs": cmd_obs,
     "faults": cmd_faults,
     "skew": cmd_skew,
+    "agg": cmd_agg,
     "verify": cmd_verify,
 }
 
@@ -474,6 +489,15 @@ def build_parser() -> argparse.ArgumentParser:
                    default=None,
                    help="skew: comma-separated Zipf exponents "
                         "(default 0,0.6,1.2,1.8; 0 = uniform)")
+    p.add_argument("--watermarks",
+                   type=lambda s: [int(x) for x in s.split(",") if x],
+                   default=None,
+                   help="agg: comma-separated aggregation watermarks "
+                        "(default 64,1024,8192)")
+    p.add_argument("--routing", choices=["direct", "tree"],
+                   default="direct",
+                   help="agg: software routing for coalesced frames "
+                        "(tree = Traff two-phase forwarding)")
     p.add_argument("--clear", action="store_true",
                    help="cache: delete all entries instead of printing "
                         "stats")

@@ -58,6 +58,14 @@ class ClusterSpec:
     #: uniform-random closed-loop path, byte-for-byte (the goldens pin
     #: exactly that).  See docs/traffic.md.
     traffic: Optional["TrafficModel"] = None
+    #: destination-coalescing aggregation: a
+    #: :class:`~repro.agg.AggSpec` routes the irregular kernels' remote
+    #: updates through the :mod:`repro.agg` runtime (per-destination
+    #: buffers, watermark/timeout flushes, optional tree routing).
+    #: ``None`` keeps every legacy kernel path byte-identical (a scoped
+    #: ``agg.session(...)`` override still applies).  See
+    #: docs/aggregation.md.
+    aggregation: Optional["AggSpec"] = None
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -78,6 +86,12 @@ class ClusterSpec:
                 raise TypeError(
                     "traffic must be a repro.traffic.TrafficModel "
                     f"(got {type(self.traffic).__name__})")
+        if self.aggregation is not None:
+            from repro.agg import AggSpec
+            if not isinstance(self.aggregation, AggSpec):
+                raise TypeError(
+                    "aggregation must be a repro.agg.AggSpec "
+                    f"(got {type(self.aggregation).__name__})")
 
     @staticmethod
     def paper_testbed(**overrides) -> "ClusterSpec":

@@ -325,13 +325,21 @@ class ReliableTransport:
     def flush(self) -> Generator:
         """Block until every outstanding frame is acknowledged.
 
+        The completion set is re-snapshotted after every wait: a send
+        issued *while* the flush generator is suspended joins the set
+        and is waited on exactly once, so flush only returns when
+        ``in_flight`` is zero — not merely when the frames that were
+        pending at call time have been acknowledged.
+
         Raises :class:`TransportError` if any frame ran out of retries —
         including frames that already failed before flush was called.
         """
-        if self._failed:
-            raise self._failed[0]
-        outstanding = [p.event for p in self._pending.values()]
-        if outstanding:
+        while True:
+            if self._failed:
+                raise self._failed[0]
+            outstanding = [p.event for p in self._pending.values()]
+            if not outstanding:
+                return
             yield self.engine.all_of(outstanding)
 
     @property

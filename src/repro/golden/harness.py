@@ -3,7 +3,7 @@
 This module generalises the per-feature differential tests that grew up
 with the obs, exec, and faults layers (obs on/off bit-identity, serial
 vs parallel pools, warm-cache equivalence, all-zero fault plans) into
-**one driver**: every golden figure is re-run along five axes —
+**one driver**: every golden figure is re-run along six axes —
 
 * ``workers`` — serial in-process vs a two-worker process pool,
 * ``cache``  — cold run vs a warm re-run through a result cache,
@@ -11,9 +11,14 @@ vs parallel pools, warm-cache equivalence, all-zero fault plans) into
 * ``faults`` — no fault plan vs an installed all-zero :class:`FaultPlan`,
 * ``shards`` — serial event loop vs the two-shard PDES runner
   (:mod:`repro.sim.pdes`; figures on the reference flow engine take the
-  documented fallback path and must come back identical too)
+  documented fallback path and must come back identical too),
+* ``agg``    — the figure under a scoped :func:`repro.agg.session`
+  aggregation override: repeats and a two-shard run must agree with
+  each other bit-for-bit (seeded flush ordering), though kernels that
+  consult the override legitimately diverge from the un-aggregated
+  baseline
 
-— and every axis must reproduce the baseline table **bit-identically**
+— and every axis must reproduce its baseline table **bit-identically**
 (exact policy, not the per-figure tolerance: these are same-process
 guarantees, so even the last float bit must hold).  A divergence is
 reported as the offending axis plus the cell-level diff and the seeds
@@ -68,10 +73,21 @@ GOLDEN_CONFIGS: Dict[str, Dict[str, Any]] = {
     "fig_skew": {"seed": GOLDEN_SEED, "nodes": 2,
                  "exponents": (0.0, 1.2), "include_hotset": True,
                  "table_words": 1 << 10, "n_updates": 1 << 8},
+    # aggregation crossover sweep at a tiny config: pins the repro.agg
+    # coalescing runtime (explicit AggSpecs inside the grid, so the
+    # workers/cache/shards axes exercise aggregated runs in worker
+    # processes too)
+    "fig_agg": {"seed": GOLDEN_SEED, "nodes": 2,
+                "exponents": (0.0, 1.2), "include_hotset": True,
+                "watermarks": (1, 64),
+                "table_words": 1 << 10, "n_updates": 1 << 8},
 }
 
-#: The five determinism axes, in report order.
-AXES: Tuple[str, ...] = ("workers", "cache", "obs", "faults", "shards")
+#: The six determinism axes, in report order.  ``agg`` is special: its
+#: candidates are compared against *each other*, not the shared
+#: baseline (see :func:`check_axis`).
+AXES: Tuple[str, ...] = ("workers", "cache", "obs", "faults", "shards",
+                         "agg")
 
 
 def _golden_point(fig: str, **params: Any) -> Table:
@@ -269,6 +285,27 @@ def _axis_shards(fig: str, params: Dict[str, Any]) -> List[Table]:
         return [_golden_point(fig, **params)]
 
 
+def _axis_agg(fig: str, params: Dict[str, Any]) -> List[Table]:
+    """The figure under a scoped aggregation session, three ways: two
+    plain repeats plus a two-shard PDES run.  Kernels that consult
+    :func:`repro.agg.resolve_spec` legitimately produce *different*
+    tables from the un-aggregated baseline (coalescing changes message
+    timing), so this axis demands bit-identity among the aggregated
+    candidates themselves — seeded flush ordering must hold across
+    repeat runs and across shard processes.  Figures whose kernels
+    ignore aggregation simply reproduce the baseline three times."""
+    from repro import agg
+    from repro.agg import AggSpec
+    from repro.sim import pdes
+    out: List[Table] = []
+    with agg.session(AggSpec(watermark=64)):
+        out.append(_golden_point(fig, **params))
+        out.append(_golden_point(fig, **params))
+        with pdes.session(2):
+            out.append(_golden_point(fig, **params))
+    return out
+
+
 def check_axis(fig: str, axis: str, baseline: Optional[Table] = None,
                cache_dir: Optional[str] = None,
                **overrides: Any) -> AxisReport:
@@ -278,7 +315,7 @@ def check_axis(fig: str, axis: str, baseline: Optional[Table] = None,
         raise KeyError(f"unknown axis {axis!r}; known: {AXES}")
     params = _config_for(fig, overrides)
     seed = int(params.get("seed", GOLDEN_SEED))
-    if baseline is None:
+    if baseline is None and axis != "agg":
         baseline = _golden_point(fig, **params)
     if axis == "workers":
         candidates = _axis_workers(fig, params)
@@ -293,6 +330,13 @@ def check_axis(fig: str, axis: str, baseline: Optional[Table] = None,
         candidates = _axis_obs(fig, params)
     elif axis == "shards":
         candidates = _axis_shards(fig, params)
+    elif axis == "agg":
+        candidates = _axis_agg(fig, params)
+        # aggregation may legitimately shift results away from the
+        # un-aggregated baseline; the axis contract is bit-identity
+        # among the aggregated runs themselves
+        baseline = candidates[0]
+        candidates = candidates[1:]
     else:
         candidates = _axis_faults(fig, params)
     diffs: List[CellDiff] = []

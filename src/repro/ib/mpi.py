@@ -15,7 +15,6 @@ moves actual data, so benchmark results can be validated numerically.
 from __future__ import annotations
 
 import itertools
-import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
@@ -33,28 +32,6 @@ ANY_TAG = -1
 
 _CONTROL_BYTES = 64          # RTS / CTS control message size
 _COLLECTIVE_TAG_BASE = 1 << 24
-
-_MISSING = object()
-
-
-def _resolve_payload(payload: Any, data: Any, fn: str) -> Any:
-    """Accept the legacy ``data=`` keyword with a DeprecationWarning.
-
-    The fabrics share one message vocabulary (``dest``, ``payload``,
-    ``tag``, ``counter``); ``data=`` was the pre-unification spelling.
-    """
-    if data is not _MISSING:
-        if payload is not _MISSING:
-            raise TypeError(
-                f"{fn}() got both payload= and its deprecated alias "
-                f"data=")
-        warnings.warn(
-            f"MPIEndpoint.{fn}(data=...) is deprecated; "
-            f"use {fn}(payload=...)", DeprecationWarning, stacklevel=3)
-        return data
-    if payload is _MISSING:
-        raise TypeError(f"{fn}() missing required argument: 'payload'")
-    return payload
 
 
 def payload_nbytes(data: Any) -> int:
@@ -81,6 +58,7 @@ class _Arrival:
     payload: Any
     nbytes: int
     rts_id: int = -1
+    seq: int = -1        # per-(src, dst) send sequence number
 
 
 class MPIEndpoint:
@@ -100,6 +78,15 @@ class MPIEndpoint:
         self._recv_waiters: List[Tuple[int, int, Event]] = []
         self._cts_waiters: Dict[int, Event] = {}
         self._data_waiters: Dict[int, Event] = {}
+        # MPI non-overtaking: every eager/RTS envelope carries a
+        # per-(src, dst) sequence number stamped at send time; the
+        # receiver releases arrivals to matching strictly in that
+        # order, so a message the fabric delivered early (a small RTS
+        # overtaking a large eager transfer, a lucky retry draw) can
+        # never be matched before an earlier send from the same source.
+        self._send_seq: Dict[int, int] = {}
+        self._recv_next_seq: Dict[int, int] = {}
+        self._recv_held: Dict[int, Dict[int, _Arrival]] = {}
         self._collective_seq = itertools.count()
         self._verbs = None
         # shared series across endpoints; label picks apart the protocol
@@ -138,15 +125,39 @@ class MPIEndpoint:
             rts_id, data = envelope
             self._data_waiters.pop(rts_id).succeed(data)
             return
-        tag, rts_id, data = envelope
+        tag, rts_id, data, seq = envelope
         arrival = _Arrival(src=src, tag=tag, kind=kind, payload=data,
-                           nbytes=nbytes, rts_id=rts_id)
+                           nbytes=nbytes, rts_id=rts_id, seq=seq)
+        expected = self._recv_next_seq.get(src, 0)
+        if seq != expected:
+            # delivered out of send order: hold until the gap closes
+            self._recv_held.setdefault(src, {})[seq] = arrival
+            return
+        self._deliver(arrival)
+        expected += 1
+        held = self._recv_held.get(src)
+        while held:
+            nxt = held.pop(expected, None)
+            if nxt is None:
+                break
+            self._deliver(nxt)
+            expected += 1
+        self._recv_next_seq[src] = expected
+
+    def _deliver(self, arrival: _Arrival) -> None:
+        """Hand one in-order arrival to matching (posted receives in
+        post order, else the unexpected queue in arrival order)."""
         for i, (wsrc, wtag, ev) in enumerate(self._recv_waiters):
             if self._matches(arrival, wsrc, wtag):
                 del self._recv_waiters[i]
                 ev.succeed(arrival)
                 return
         self._unexpected.append(arrival)
+
+    def _next_send_seq(self, dest: int) -> int:
+        seq = self._send_seq.get(dest, 0)
+        self._send_seq[dest] = seq + 1
+        return seq
 
     @staticmethod
     def _matches(a: _Arrival, src: int, tag: int) -> bool:
@@ -162,9 +173,8 @@ class MPIEndpoint:
             self._cpu.release()
 
     # -- point to point -----------------------------------------------------
-    def send(self, dest: int, payload: Any = _MISSING, *, tag: int = 0,
-             nbytes: Optional[int] = None,
-             data: Any = _MISSING) -> Generator:
+    def send(self, dest: int, payload: Any, *, tag: int = 0,
+             nbytes: Optional[int] = None) -> Generator:
         """Blocking send (eager: returns after local handoff; rendezvous:
         returns once the data transfer completes).
 
@@ -172,9 +182,7 @@ class MPIEndpoint:
         :class:`~repro.sim.events.CompletionEvent` for the message —
         the same completion vocabulary :meth:`DataVortexAPI.send_words
         <repro.dv.api.DataVortexAPI.send_words>` returns on the DV side.
-        ``data=`` is the deprecated alias for ``payload=``.
         """
-        payload = _resolve_payload(payload, data, "send")
         return self._send(dest, payload, tag, nbytes)
 
     def _send(self, dest: int, payload: Any, tag: int,
@@ -186,7 +194,9 @@ class MPIEndpoint:
             n = (nbytes if nbytes is not None
                  else payload_nbytes(payload))
             yield from self._overhead()
-            self._on_fabric(self.rank, "eager", (tag, -1, payload), n)
+            self._on_fabric(self.rank, "eager",
+                            (tag, -1, payload,
+                             self._next_send_seq(self.rank)), n)
             done = CompletionEvent(self.engine, fabric="ib", op="self",
                                    src=self.rank, dest=dest, tag=tag,
                                    nbytes=n,
@@ -198,10 +208,9 @@ class MPIEndpoint:
         if n <= self.config.eager_threshold_bytes:
             if self._obs_on:
                 self._m_sends["eager"].inc()
-            done = self.fabric.transfer(self.rank, dest,
-                                        n + _CONTROL_BYTES,
-                                        kind="eager",
-                                        payload=(tag, -1, payload))
+            done = self.fabric.transfer(
+                self.rank, dest, n + _CONTROL_BYTES, kind="eager",
+                payload=(tag, -1, payload, self._next_send_seq(dest)))
             done.tag = tag      # fabric knows bytes; MPI supplies tags
             return done
         # rendezvous
@@ -210,8 +219,9 @@ class MPIEndpoint:
         rts_id = self.runtime.next_rts_id()
         cts = self.engine.event(name=f"cts:{rts_id}")
         self._cts_waiters[rts_id] = cts
-        self.fabric.transfer(self.rank, dest, _CONTROL_BYTES,
-                             kind="rts", payload=(tag, rts_id, None))
+        self.fabric.transfer(
+            self.rank, dest, _CONTROL_BYTES, kind="rts",
+            payload=(tag, rts_id, None, self._next_send_seq(dest)))
         yield cts
         yield self.engine.timeout(self.config.rendezvous_handshake_s)
         done = self.fabric.transfer(self.rank, dest, n, kind="rdata",
@@ -255,11 +265,9 @@ class MPIEndpoint:
         """Non-blocking check for a matching pending message."""
         return any(self._matches(a, src, tag) for a in self._unexpected)
 
-    def isend(self, dest: int, payload: Any = _MISSING, *, tag: int = 0,
-              nbytes: Optional[int] = None, data: Any = _MISSING):
-        """Non-blocking send; returns a joinable process event.
-        ``data=`` is the deprecated alias for ``payload=``."""
-        payload = _resolve_payload(payload, data, "isend")
+    def isend(self, dest: int, payload: Any, *, tag: int = 0,
+              nbytes: Optional[int] = None):
+        """Non-blocking send; returns a joinable process event."""
         return self.engine.process(
             self._send(dest, payload, tag, nbytes),
             name=f"isend {self.rank}->{dest}")
@@ -269,13 +277,11 @@ class MPIEndpoint:
         return self.engine.process(self.recv(src, tag=tag),
                                    name=f"irecv @{self.rank}")
 
-    def sendrecv(self, dest: int, payload: Any = _MISSING,
+    def sendrecv(self, dest: int, payload: Any,
                  src: int = ANY_SOURCE, *, sendtag: int = 0,
-                 recvtag: int = ANY_TAG, nbytes: Optional[int] = None,
-                 data: Any = _MISSING) -> Generator:
-        """Simultaneous exchange (deadlock-free pairwise step).
-        ``data=`` is the deprecated alias for ``payload=``."""
-        payload = _resolve_payload(payload, data, "sendrecv")
+                 recvtag: int = ANY_TAG, nbytes: Optional[int] = None
+                 ) -> Generator:
+        """Simultaneous exchange (deadlock-free pairwise step)."""
         return self._sendrecv(dest, payload, src, sendtag, recvtag,
                               nbytes)
 

@@ -349,6 +349,69 @@ def _mpi_bfs(ctx: RankContext, g: _LocalGraph, root: int) -> Generator:
     return edges_traversed
 
 
+def _agg_bfs(ctx: RankContext, g: _LocalGraph, root: int, seed: int,
+             agg_spec) -> Generator:
+    """Level-synchronous BFS through the destination-coalescing runtime
+    (either fabric).
+
+    Each level is one aggregation epoch: (child, parent) pairs stream
+    into the channel per destination, watermark flushes overlap the
+    expansion, and ``complete(extra=frontier.size)`` both settles the
+    level's word accounting and rides the global-frontier sum on the
+    same exchange — replacing the legacy count-exchange *and* the
+    termination allreduce with one synchronisation.  The parent tree
+    may differ from the legacy paths (first-writer-wins under a
+    different arrival order) but stays Graph500-valid; visited sets and
+    levels are identical (docs/aggregation.md).
+    """
+    from repro.agg.runtime import channel_for
+    chan = channel_for(ctx, agg_spec, seed)
+
+    frontier = np.empty(0, np.int64)
+    if g.lo <= root < g.hi:
+        g.parent[root - g.lo] = root
+        frontier = np.array([root - g.lo], np.int64)
+
+    edges_traversed = 0
+    while True:
+        owner, packed, n_edges = _expand(ctx, g, frontier)
+        edges_traversed += n_edges
+        yield from ctx.compute(stream_bytes=packed.nbytes * 3,
+                               dispatches=1)
+        mine = owner == ctx.rank
+        local_new = []
+        if mine.any():
+            c, p = _unpack_pairs(packed[mine])
+            yield from ctx.compute(random_updates=int(mine.sum()))
+            local_new.append(g.absorb(c, p))
+        remote = ~mine
+        if remote.any():
+            dests = owner[remote]
+            payloads = packed[remote]
+            order = np.argsort(dests, kind="stable")
+            dests, payloads = dests[order], payloads[order]
+            uniq, starts = np.unique(dests, return_index=True)
+            bounds = np.append(starts[1:], dests.size)
+            for d, s0, s1 in zip(uniq, starts, bounds):
+                yield from chan.put(int(d), payloads[s0:s1])
+        arrived = yield from chan.drain()
+        if arrived.size:
+            c, p = _unpack_pairs(arrived)
+            yield from ctx.compute(random_updates=arrived.size)
+            local_new.append(g.absorb(c, p))
+        words, global_frontier = yield from chan.complete(
+            extra=int(frontier.size))
+        if words.size:
+            c, p = _unpack_pairs(words)
+            yield from ctx.compute(random_updates=words.size)
+            local_new.append(g.absorb(c, p))
+        if global_frontier == 0:
+            break
+        frontier = (np.unique(np.concatenate(local_new))
+                    if local_new else np.empty(0, np.int64))
+    return edges_traversed, chan.stats.as_dict()
+
+
 def _mpi_bfs_diropt(ctx: RankContext, g: _LocalGraph, root: int,
                     n_vertices: int, beta: int) -> Generator:
     """Direction-optimising BFS over MPI: top-down alltoallv levels
@@ -561,6 +624,17 @@ def run_bfs(spec: ClusterSpec, fabric: str, *, scale: int = 12,
     """
     if strategy not in ("topdown", "diropt"):
         raise ValueError('strategy must be "topdown" or "diropt"')
+    from repro import agg as aggmod
+    agg_spec = aggmod.resolve_spec(spec.aggregation)
+    if agg_spec is not None and fabric == "verbs":
+        raise ValueError(
+            "aggregation is not supported on the raw verbs path "
+            '(use fabric="dv" or "mpi")')
+    if agg_spec is not None and strategy == "diropt":
+        raise ValueError(
+            "aggregation applies to the top-down traversal only "
+            "(bottom-up levels exchange bitmaps, not per-destination "
+            "updates)")
     rng = rng_for(spec.seed, "graph500", scale)
     edges = kronecker_edges(scale, edgefactor, rng)
     n = 1 << scale
@@ -581,6 +655,7 @@ def run_bfs(spec: ClusterSpec, fabric: str, *, scale: int = 12,
 
     per_root_teps = []
     parents_ok = []
+    agg_dicts = []
     for root in roots:
         root = int(root)
 
@@ -588,7 +663,11 @@ def run_bfs(spec: ClusterSpec, fabric: str, *, scale: int = 12,
             g = _LocalGraph(offsets, targets, ctx.rank, ctx.size)
             yield from ctx.barrier()
             ctx.mark("t0")
-            if fabric == "dv" and strategy == "diropt":
+            agg_stats = None
+            if agg_spec is not None:
+                traversed, agg_stats = yield from _agg_bfs(
+                    ctx, g, root, spec.seed, agg_spec)
+            elif fabric == "dv" and strategy == "diropt":
                 traversed = yield from _dv_bfs_diropt(ctx, g, root, n,
                                                       beta, window)
             elif fabric == "dv":
@@ -599,8 +678,11 @@ def run_bfs(spec: ClusterSpec, fabric: str, *, scale: int = 12,
             else:
                 traversed = yield from _mpi_bfs(ctx, g, root)
             elapsed = ctx.since("t0")
-            return {"elapsed": elapsed, "traversed": traversed,
-                    "parent": g.parent}
+            out = {"elapsed": elapsed, "traversed": traversed,
+                   "parent": g.parent}
+            if agg_stats is not None:
+                out["agg"] = agg_stats
+            return out
 
         res = run_spmd(spec, program, fabric)
         elapsed = max(v["elapsed"] for v in res.values)
@@ -612,6 +694,8 @@ def run_bfs(spec: ClusterSpec, fabric: str, *, scale: int = 12,
         visited = parent != _NO_PARENT
         traversed = int(deg[visited].sum()) // 2
         per_root_teps.append(teps(max(traversed, 1), elapsed))
+        if agg_spec is not None:
+            agg_dicts.extend(v["agg"] for v in res.values)
         if validate:
             parents_ok.append(
                 validate_parent_tree(offsets, targets, root, parent))
@@ -625,6 +709,9 @@ def run_bfs(spec: ClusterSpec, fabric: str, *, scale: int = 12,
         "gteps": harmonic_mean(per_root_teps) / 1e9,
         "per_root_teps": per_root_teps,
     }
+    if agg_spec is not None:
+        from repro.agg.runtime import merge_stats
+        out["agg"] = merge_stats(agg_dicts)
     if validate:
         out["valid"] = all(parents_ok)
     return out

@@ -186,6 +186,79 @@ def _dv_gups(ctx: RankContext, table_words: int, n_updates: int,
     return {"elapsed": elapsed, "table": table}
 
 
+def _agg_gups(ctx: RankContext, table_words: int, n_updates: int,
+              window: int, seed: int, agg_spec,
+              traffic=None) -> Generator:
+    """GUPS through the destination-coalescing runtime (either fabric).
+
+    Remote updates flow into the rank's :mod:`repro.agg` channel
+    instead of being exchanged per 1024-update window: the watermark
+    batches *across* windows — deliberately beyond the HPCC look-ahead
+    cap, since the point of ``fig_agg`` is to measure what aggregation
+    buys once the rule is relaxed (docs/aggregation.md).  XOR updates
+    commute, so the validated table is identical to the legacy paths
+    whatever the flush order.
+    """
+    from repro.agg.runtime import channel_for
+    P = ctx.size
+    table = np.zeros(table_words, np.uint64)
+    idx, val = _make_updates(seed, ctx.rank, n_updates, table_words, P,
+                             traffic)
+    owner = idx // table_words
+    local = idx % table_words
+    n_epochs = (n_updates + window - 1) // window
+    chan = channel_for(ctx, agg_spec, seed)
+    _obs = obsreg.enabled()
+    fabric = "dv" if ctx.dv is not None else "mpi"
+    if _obs:
+        m_epochs = obsreg.counter("kernels.gups.epochs", fabric=fabric)
+        m_local = obsreg.counter("kernels.gups.updates_local",
+                                 fabric=fabric)
+        m_remote = obsreg.counter("kernels.gups.updates_remote",
+                                  fabric=fabric)
+
+    yield from ctx.barrier()
+    ctx.mark("t0")
+    for e in range(n_epochs):
+        lo, hi = e * window, min((e + 1) * window, n_updates)
+        o, li, v = owner[lo:hi], local[lo:hi], val[lo:hi]
+        mine = o == ctx.rank
+        if _obs:
+            m_epochs.inc()
+            m_local.inc(int(mine.sum()))
+            m_remote.inc(int((~mine).sum()))
+        _apply(table, _pack(li[mine], v[mine]))
+        yield from ctx.compute(random_updates=int(mine.sum()),
+                               dispatches=1)
+        remote = ~mine
+        if remote.any():
+            packed = _pack(li[remote], v[remote])
+            dests = o[remote]
+            order = np.argsort(dests, kind="stable")
+            dests_s, packed_s = dests[order], packed[order]
+            uniq, starts = np.unique(dests_s, return_index=True)
+            bounds = np.append(starts[1:], dests_s.size)
+            for d, s0, s1 in zip(uniq, starts, bounds):
+                yield from chan.put(int(d), packed_s[s0:s1])
+        # opportunistically drain whatever frames have arrived
+        arrived = yield from chan.drain()
+        if arrived.size:
+            _apply(table, arrived)
+            yield from ctx.compute(random_updates=arrived.size,
+                                   dispatches=1)
+
+    # epoch settlement: final flushes, count exchange, drain-to-tally
+    arrived, _ = yield from chan.complete()
+    if arrived.size:
+        _apply(table, arrived)
+        yield from ctx.compute(random_updates=arrived.size,
+                               dispatches=1)
+    yield from ctx.barrier()
+    elapsed = ctx.since("t0")
+    return {"elapsed": elapsed, "table": table,
+            "agg": chan.stats.as_dict()}
+
+
 def _verbs_gups(ctx: RankContext, table_words: int, n_updates: int,
                 window: int, seed: int, traffic=None) -> Generator:
     """GUPS over one-sided RDMA (paper §VIII's verbs alternative).
@@ -332,7 +405,19 @@ def run_gups(spec: ClusterSpec, fabric: str, *, table_words: int = 1 << 14,
     seed = spec.seed
     traffic = spec.traffic
 
-    if fabric == "dv":
+    from repro import agg as aggmod
+    agg_spec = aggmod.resolve_spec(spec.aggregation)
+    if agg_spec is not None and fabric == "verbs":
+        raise ValueError(
+            "aggregation is not supported on the raw verbs path "
+            '(use fabric="dv" or "mpi")')
+
+    if agg_spec is not None:
+        def program(ctx):
+            return (yield from _agg_gups(ctx, table_words, n_updates,
+                                         window, seed, agg_spec,
+                                         traffic))
+    elif fabric == "dv":
         def program(ctx):
             return (yield from _dv_gups(ctx, table_words, n_updates,
                                         window, seed, aggregate,
@@ -357,6 +442,9 @@ def run_gups(spec: ClusterSpec, fabric: str, *, table_words: int = 1 << 14,
         "mups_per_pe": mups(total_updates, elapsed) / spec.n_nodes,
         "tracer": res.tracer,
     }
+    if agg_spec is not None:
+        from repro.agg.runtime import merge_stats
+        out["agg"] = merge_stats(v["agg"] for v in res.values)
     if validate:
         got = np.concatenate([v["table"] for v in res.values])
         ref = serial_gups_table(seed, spec.n_nodes, table_words,

@@ -24,6 +24,8 @@ TINY = {
     "scaling": ["--workers", "2"],
     "scaleout": ["--nodes", "64", "--workloads", "gups"],
     "skew": ["--nodes", "2", "--exponents", "0,1.2"],
+    "agg": ["--nodes", "2", "--exponents", "0", "--watermarks",
+            "1,64"],
     "sweep": ["--name", "barrier", "--nodes", "2"],
     "figures": ["--figs", "fig4"],
     "obs": ["--nodes", "2"],

@@ -231,3 +231,42 @@ def test_send_batch_charges_api_overhead_once():
     got = res.values[1]
     assert [w for t, w in got if t == 1] == want
     assert [w for t, w in got if t == 2] == want
+
+
+def test_send_issued_during_flush_is_awaited():
+    """Regression: a send issued while flush() is suspended must join
+    the completion set.  The pre-fix flush waited on a one-shot
+    snapshot of the pending frames taken at call time, so it could
+    return with the late send still in flight (and, symmetrically,
+    never double-counts it — each frame is waited on exactly once)."""
+    def program(ctx):
+        tr = ReliableTransport(ctx.dv, TransportConfig(
+            frame_words=4, max_retries=128))
+        tr.start()
+        yield from ctx.barrier()
+        if ctx.rank == 0:
+            # a fat batch under heavy loss: retransmits keep the flush
+            # suspended for many retry periods
+            yield from tr.send_batch(1, np.arange(64, dtype=np.uint64))
+            state = {}
+
+            def flusher():
+                yield from tr.flush()
+                state["in_flight_at_return"] = tr.in_flight
+
+            fp = ctx.engine.process(flusher())
+            # let the flush block on the batch's acks, then slip one
+            # more send in underneath it
+            yield ctx.engine.timeout(1e-7)
+            assert not fp.triggered
+            # the late send is a fatter batch than the first one, so a
+            # flush that only waited on its call-time snapshot would
+            # return with most of these frames still unacknowledged
+            yield from tr.send_batch(1, np.full(512, 7, np.uint64))
+            yield fp
+            return state["in_flight_at_return"]
+        return None
+
+    with faults.session(FaultPlan(seed=5, drop_prob=0.25)):
+        res = run_spmd(ClusterSpec(n_nodes=2, seed=3), program, "dv")
+    assert res.value(0) == 0

@@ -1,14 +1,14 @@
-"""The unified fabric vocabulary: payload keywords, CompletionEvents,
-and the deprecated ``data=`` forwarding shims.
+"""The unified fabric vocabulary: payload keywords and
+CompletionEvents.
 
 Both fabrics speak one message vocabulary — ``dest``, ``payload``,
 ``tag``, ``counter`` — and point-to-point sends and barriers resolve to
 a common :class:`~repro.sim.events.CompletionEvent` carrying the fabric
 name, operation, endpoints and size.  The legacy ``data=`` spelling on
-the MPI side forwards with a DeprecationWarning.
+the MPI side (deprecated in the PR-5 cycle, forwarded with a warning
+through PR 7) is gone: ``payload`` is a required positional and
+``data=`` is a plain TypeError.
 """
-
-import warnings
 
 import numpy as np
 import pytest
@@ -97,49 +97,37 @@ def test_dv_send_words_returns_completion_event():
     assert (done.src, done.dest, done.words) == (0, 1, 1)
 
 
-# ------------------------------------------------- deprecation shims ---
+# ------------------------------------------- removed data= spelling ---
 
-def test_send_data_keyword_forwards_with_warning():
-    def program(ctx):
-        if ctx.rank == 0:
-            with warnings.catch_warnings(record=True) as caught:
-                warnings.simplefilter("always")
-                gen = ctx.mpi.send(1, data=np.arange(3), tag=2)
-            assert any(issubclass(w.category, DeprecationWarning)
-                       and "payload=" in str(w.message) for w in caught)
-            done = yield from gen
-            return done
-        got, src, tag = yield from ctx.mpi.recv(0)
-        return got.tolist()
-
-    done, got = _collect("mpi", program)
-    assert isinstance(done, CompletionEvent)
-    assert got == [0, 1, 2]
-
-
-def test_isend_and_sendrecv_data_keyword_forward():
+def test_data_keyword_is_gone():
+    """The PR-5 ``data=`` forwarding shims are removed: the legacy
+    spelling is an ordinary TypeError on every send path, and payload
+    is a required argument."""
     def program(ctx):
         peer = 1 - ctx.rank
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            got = yield from ctx.mpi.sendrecv(peer, data=ctx.rank)
-        assert any(issubclass(w.category, DeprecationWarning)
-                   for w in caught)
+        with pytest.raises(TypeError):
+            ctx.mpi.send(peer, data=np.arange(3), tag=2)
+        with pytest.raises(TypeError):
+            ctx.mpi.isend(peer, data=1)
+        with pytest.raises(TypeError):
+            ctx.mpi.sendrecv(peer, data=ctx.rank)
+        with pytest.raises(TypeError):
+            ctx.mpi.send(peer)
+        yield from ctx.mpi.barrier()
+        return True
+
+    assert _collect("mpi", program) == [True, True]
+
+
+def test_payload_still_passes_by_keyword():
+    """``payload=`` by name keeps working on every send path."""
+    def program(ctx):
+        peer = 1 - ctx.rank
+        got = yield from ctx.mpi.sendrecv(peer, payload=ctx.rank)
         val, src, _ = got
         return (val, src)
 
     assert _collect("mpi", program) == [(1, 1), (0, 0)]
-
-
-def test_payload_and_data_together_rejected():
-    def program(ctx):
-        with pytest.raises(TypeError, match="both payload="):
-            ctx.mpi.send(0, payload=1, data=2)
-        with pytest.raises(TypeError, match="missing required"):
-            ctx.mpi.send(0)
-        yield from ctx.mpi.barrier()
-
-    _collect("mpi", program)
 
 
 # ------------------------------------------------- keyword symmetry ---

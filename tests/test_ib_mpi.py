@@ -314,3 +314,72 @@ def test_contention_slows_colliding_flows():
         return eng.now
 
     assert workload(contention=True) > workload(contention=False)
+
+
+# ------------------------------------------------- matching-order fixes ---
+
+def test_reordered_arrivals_respect_send_order():
+    """MPI non-overtaking: if the fabric delivers a later send first
+    (its envelope carries a higher sequence number), the endpoint must
+    hold it until every earlier send from that source has been
+    delivered.  The pre-fix endpoint matched purely on arrival order
+    and handed over "B" here."""
+    eng = Engine()
+    rt = MPIRuntime(eng, IBConfig(), 2)
+    ep = rt.endpoint(1)
+    # rank 0's sends arrive swapped: seq 1 ("B") before seq 0 ("A")
+    ep._on_fabric(0, "eager", (0, -1, "B", 1), 8)
+    ep._on_fabric(0, "eager", (0, -1, "A", 0), 8)
+
+    def fn(ep):
+        first, _, _ = yield from ep.recv()
+        second, _, _ = yield from ep.recv()
+        return first, second
+
+    p = eng.process(fn(ep))
+    eng.run()
+    assert p.ok and p.value == ("A", "B")
+
+
+def test_wildcard_never_matches_later_eligible_first():
+    """Property: drain with recv(ANY_SOURCE, ANY_TAG) under randomly
+    interleaved multi-sender traffic — for every (source, tag) stream
+    the payload sequence must come back in send order, whatever the
+    global interleaving."""
+    rng = np.random.default_rng(90)
+    big = IBConfig().eager_threshold_bytes // 8 + 16
+    for trial in range(8):
+        n_senders = int(rng.integers(2, 5))
+        # (tag, seq-id, rendezvous?) — mixing eager and rendezvous
+        # from the same sender is what lets a later message physically
+        # arrive first (a small eager overtakes a large handshake)
+        plans = {s: [(int(rng.integers(0, 3)), i,
+                      bool(rng.integers(0, 2)))
+                     for i in range(int(rng.integers(3, 8)))]
+                 for s in range(1, n_senders + 1)}
+        total = sum(len(v) for v in plans.values())
+
+        def fn(ep, plans=plans, total=total):
+            if ep.rank == 0:
+                got = []
+                for _ in range(total):
+                    item, src, tag = yield from ep.recv()
+                    got.append((src, tag, int(np.asarray(item)[0])))
+                return got
+            handles = []
+            for tag, i, rendezvous in plans[ep.rank]:
+                payload = np.full(big if rendezvous else 1, i,
+                                  np.int64)
+                handles.append(ep.isend(0, payload, tag=tag))
+            for h in handles:
+                yield h
+            return None
+
+        vals, _ = run_ranks(n_senders + 1, fn)
+        got = vals[0]
+        for s, plan in plans.items():
+            for tag in set(t for t, _, _ in plan):
+                sent = [i for t, i, _ in plan if t == tag]
+                recvd = [i for src, t, i in got
+                         if src == s and t == tag]
+                assert recvd == sent, (trial, s, tag, recvd, sent)
