@@ -9,12 +9,15 @@ REPRO    = PYTHONPATH=src $(PYTHON) -m repro.cli
 # The files `ruff format --check` gates (formatting is adopted
 # incrementally, starting with the golden subsystem); keep in sync
 # with .github/workflows/ci.yml.
-FORMATTED = src/repro/golden tests/test_golden_store.py \
+FORMATTED = src/repro/golden src/repro/service \
+            tests/test_golden_store.py \
             tests/test_golden_policy.py tests/test_golden_harness.py \
-            tests/test_golden_drift.py tests/test_cli_smoke.py
+            tests/test_golden_drift.py tests/test_cli_smoke.py \
+            tests/test_service.py
 
 .PHONY: test test-all test-exec test-faults test-traffic test-agg \
-        bench obs help lint verify golden-record ci scaleout skew agg
+        test-service bench obs help lint verify golden-record ci \
+        scaleout skew agg serve
 
 help:
 	@echo "make ci            - what CI runs: lint -> tier-1 tests -> golden gate"
@@ -25,6 +28,8 @@ help:
 	@echo "make test-faults   - fault-injection + reliable-transport suite only"
 	@echo "make test-traffic  - traffic models + statistical validation suite only"
 	@echo "make test-agg      - aggregation runtime suite only (docs/aggregation.md)"
+	@echo "make test-service  - experiment service suite only (docs/service.md)"
+	@echo "make serve         - boot the experiment service daemon on :7351"
 	@echo "make skew          - fig_skew: GUPS vs destination skew (docs/traffic.md)"
 	@echo "make agg           - fig_agg: aggregated IB vs DV crossover sweep"
 	@echo "make verify        - golden compare + 4-axis determinism harness"
@@ -70,6 +75,12 @@ test-traffic:
 
 test-agg:
 	$(PYTEST) -x -q tests/test_agg.py tests/test_fabric_symmetry.py
+
+test-service:
+	$(PYTEST) -x -q tests/test_service.py tests/test_cli_smoke.py
+
+serve:
+	$(REPRO) serve --port 7351 --state-dir .repro-service
 
 skew:
 	$(REPRO) skew --nodes 4

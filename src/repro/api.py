@@ -2,8 +2,10 @@
 
 Everything a driver needs — regenerating paper figures, running named
 parameter sweeps, projecting 64-1024-node clusters, gating against the
-golden snapshots — behind a handful of **keyword-only** entry points
-with one options vocabulary:
+golden snapshots, submitting jobs to the experiment service
+(:func:`submit_experiment` / :func:`poll` / :func:`collect`, api
+1.4.0) — behind a handful of **keyword-only** entry points with one
+options vocabulary:
 
 >>> import repro.api as api
 >>> t = api.run_figure(exp_id="fig4", nodes=(2, 4))
@@ -28,7 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-__api_version__ = "1.3.0"
+__api_version__ = "1.4.0"
 
 __all__ = [
     "__api_version__",
@@ -44,6 +46,9 @@ __all__ = [
     "run_skew",
     "run_agg",
     "verify_goldens",
+    "submit_experiment",
+    "poll",
+    "collect",
 ]
 
 
@@ -332,3 +337,75 @@ def verify_goldens(*, mode: str = "compare",
     ok = all(r.ok for r in reports) and all(r.ok for r in axis_reports)
     return GoldenVerdict(ok=ok, reports=reports,
                          axis_reports=axis_reports)
+
+
+# -------------------------------------------------- experiment service ---
+
+def _service_client(endpoint: Optional[str], state_dir: str,
+                    goldens_dir: str):
+    """A ServiceClient for ``endpoint`` ("host:port"), else the
+    socket-free InlineClient on ``state_dir`` (docs/service.md)."""
+    if endpoint:
+        from repro.service import ServiceClient, parse_endpoint
+        return ServiceClient(*parse_endpoint(endpoint))
+    from repro.service import InlineClient
+    return InlineClient(state_dir, goldens_dir=goldens_dir)
+
+
+def submit_experiment(*, exp_id: Optional[str] = None,
+                      params: Optional[Mapping[str, Any]] = None,
+                      spec: Optional[ExperimentSpec] = None,
+                      priority: int = 0,
+                      endpoint: Optional[str] = None,
+                      state_dir: str = ".repro-service",
+                      goldens_dir: str = "goldens") -> Dict[str, Any]:
+    """Submit one experiment to the service (api 1.4.0).
+
+    With ``endpoint="host:port"`` the spec goes to a running ``repro
+    serve`` daemon and this returns as soon as the job is queued (or
+    attached to an identical in-flight job — see the ``attached``
+    flag); without one, the socket-free inline mode runs the job to
+    completion in-process under ``state_dir``.  Returns the job status
+    mapping (``job_id``, ``state``, ``attached``, ...).
+    """
+    if (exp_id is None) == (spec is None):
+        raise ValueError("pass exactly one of exp_id= or spec=")
+    if spec is not None:
+        if params:
+            raise ValueError("params go inside ExperimentSpec when "
+                             "spec= is used")
+        exp_id, params = spec.exp_id, dict(spec.params)
+    client = _service_client(endpoint, state_dir, goldens_dir)
+    return client.submit(exp_id, params=dict(params or {}),
+                         priority=priority)
+
+
+def poll(*, job_id: str, endpoint: Optional[str] = None,
+         state_dir: str = ".repro-service",
+         goldens_dir: str = "goldens") -> Dict[str, Any]:
+    """The current status mapping of a submitted job (api 1.4.0)."""
+    client = _service_client(endpoint, state_dir, goldens_dir)
+    return client.status(job_id)
+
+
+def collect(*, job_id: str, endpoint: Optional[str] = None,
+            state_dir: str = ".repro-service",
+            goldens_dir: str = "goldens",
+            timeout: Optional[float] = None,
+            require_published: bool = True) -> "Table":
+    """The finished job's result table (api 1.4.0).
+
+    Blocks (daemon mode) until the job is terminal.  A result the
+    golden gate refused to publish raises ``ServiceError`` with the
+    cell diffs unless ``require_published=False``.
+    """
+    from repro.core.report import Table
+    from repro.service import ServiceError
+    client = _service_client(endpoint, state_dir, goldens_dir)
+    record = client.collect(job_id, timeout=timeout)
+    if require_published and not record.get("published"):
+        diffs = record.get("golden", {}).get("diffs", [])
+        raise ServiceError(
+            f"job {job_id!r} result was not published "
+            f"(golden gate refused): " + "; ".join(diffs))
+    return Table.from_dict(record["table"])

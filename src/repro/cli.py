@@ -19,7 +19,16 @@ Usage::
     python -m repro.cli agg --nodes 8 --watermarks 64,1024,8192
     python -m repro.cli verify --compare             # golden gate (CI)
     python -m repro.cli verify --record              # refresh goldens
+    python -m repro.cli serve --port 7351            # experiment daemon
+    python -m repro.cli submit --exp fig4 --golden-config --port 7351
+    python -m repro.cli watch --job JOB --port 7351  # stream progress
+    python -m repro.cli collect --job JOB --port 7351 --verify-golden
     python -m repro.cli list
+
+The service subcommands (``serve``, ``submit``, ``status``, ``watch``,
+``collect``) talk to a running daemon when ``--port`` is given and
+fall back to the hermetic socket-free inline mode on ``--state-dir``
+otherwise — see docs/service.md.
 
 Each subcommand prints the figure's data as an aligned table (the same
 rendering the benchmark harness emits).  ``--workers N`` fans
@@ -382,6 +391,150 @@ def cmd_verify(args) -> int:
     return 1 if failed else 0
 
 
+def _svc_client(args):
+    """ServiceClient when --port names a daemon, InlineClient (the
+    socket-free state-dir mode) otherwise — see docs/service.md."""
+    from repro.service import InlineClient, ServiceClient
+    if args.port:
+        return ServiceClient(args.host, args.port)
+    return InlineClient(args.state_dir, goldens_dir=args.goldens)
+
+
+def cmd_serve(args) -> int:
+    """Boot the experiment service daemon: a priority job queue over
+    the shared cached executor, progress streaming, and the
+    golden-gated result store, served over the JSON-lines protocol on
+    a localhost socket.  SIGTERM/Ctrl-C shut down gracefully,
+    persisting still-queued jobs for the next daemon to resume."""
+    import signal
+    from repro.service import ExperimentService, ServiceServer
+    service = ExperimentService(args.state_dir,
+                                goldens_dir=args.goldens,
+                                exec_workers=args.workers)
+    server = ServiceServer(service, host=args.host,
+                           port=args.port or 7351)
+    host, port = server.address
+    print(f"serving on {host}:{port} (state: {args.state_dir})",
+          flush=True)
+
+    def _term(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _term)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("serve: shutting down (persisting queued jobs)",
+              flush=True)
+    finally:
+        server.stop(drain=False)
+    return 0
+
+
+def cmd_submit(args) -> int:
+    """Submit one experiment; prints the job id (and nothing else, so
+    shells can capture it).  --golden-config merges the figure's
+    pinned golden params; --params adds/overrides JSON keyword
+    arguments for the experiment runner."""
+    import json
+    from repro.service import ServiceError
+    if not args.exp:
+        print("submit: pass --exp EXPERIMENT_ID", file=sys.stderr)
+        return 2
+    params = {}
+    if args.golden_config:
+        from repro.golden import GOLDEN_CONFIGS
+        if args.exp not in GOLDEN_CONFIGS:
+            print(f"submit: no golden config for {args.exp!r}; known: "
+                  f"{', '.join(sorted(GOLDEN_CONFIGS))}",
+                  file=sys.stderr)
+            return 2
+        params.update(GOLDEN_CONFIGS[args.exp])
+    if args.params:
+        params.update(json.loads(args.params))
+    try:
+        job = _svc_client(args).submit(args.exp, params=params,
+                                       priority=args.priority)
+    except ServiceError as err:
+        print(f"submit: {err}", file=sys.stderr)
+        return 1
+    print(job["job_id"])
+    return 0
+
+
+def cmd_status(args) -> int:
+    """Print a submitted job's status mapping as JSON."""
+    import json
+    from repro.service import ServiceError
+    if not args.job:
+        print("status: pass --job JOB_ID", file=sys.stderr)
+        return 2
+    try:
+        status = _svc_client(args).status(args.job)
+    except ServiceError as err:
+        print(f"status: {err}", file=sys.stderr)
+        return 1
+    print(json.dumps(status, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_watch(args) -> int:
+    """Stream a job's progress events (one JSON line each) until it
+    reaches a terminal state; replays from --from-seq."""
+    import json
+    from repro.service import ServiceError
+    if not args.job:
+        print("watch: pass --job JOB_ID", file=sys.stderr)
+        return 2
+    try:
+        for event in _svc_client(args).watch(args.job,
+                                             from_seq=args.from_seq,
+                                             timeout=args.timeout):
+            print(json.dumps(event, sort_keys=True), flush=True)
+    except ServiceError as err:
+        print(f"watch: {err}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_collect(args) -> int:
+    """Fetch a finished job's result from the store.  --out writes the
+    full record JSON; --verify-golden additionally demands the result
+    was golden-gated and published (exit 1 on divergence — the CI
+    service-smoke contract)."""
+    import json
+    from repro.service import ServiceError
+    if not args.job:
+        print("collect: pass --job JOB_ID", file=sys.stderr)
+        return 2
+    try:
+        record = _svc_client(args).collect(args.job,
+                                           timeout=args.timeout)
+    except ServiceError as err:
+        print(f"collect: {err}", file=sys.stderr)
+        return 1
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(record, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+    if args.verify_golden:
+        golden = record.get("golden", {})
+        if not (record.get("published") and golden.get("checked")
+                and golden.get("ok")):
+            print("collect: golden verification FAILED "
+                  f"(checked={golden.get('checked')}, "
+                  f"published={record.get('published')})",
+                  file=sys.stderr)
+            for diff in golden.get("diffs", []):
+                print(f"  {diff}", file=sys.stderr)
+            return 1
+        print(f"collect: published, matches committed golden "
+              f"({record['exp_id']})")
+    table = Table.from_dict(record["table"])
+    print(table.to_csv() if args.csv else table.render())
+    return 0
+
+
 def cmd_cache(args):
     from repro.exec import ResultCache
     if not args.cache:
@@ -417,6 +570,11 @@ COMMANDS = {
     "skew": cmd_skew,
     "agg": cmd_agg,
     "verify": cmd_verify,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
+    "status": cmd_status,
+    "watch": cmd_watch,
+    "collect": cmd_collect,
 }
 
 
@@ -516,6 +674,42 @@ def build_parser() -> argparse.ArgumentParser:
                    help="verify: determinism axes to check "
                         "(comma list of workers,cache,obs,faults; "
                         "'all' = every axis, 'none' = skip)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="service: daemon host (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=None,
+                   help="service: daemon port (serve defaults to 7351;"
+                        " client subcommands use the socket-free "
+                        "--state-dir mode when omitted)")
+    p.add_argument("--state-dir", default=".repro-service",
+                   metavar="DIR", dest="state_dir",
+                   help="service: daemon state root (result cache, "
+                        "store, event logs, shutdown journal)")
+    p.add_argument("--exp", default=None, metavar="ID",
+                   help="submit: experiment id (see 'repro list' and "
+                        "the registry)")
+    p.add_argument("--params", default=None, metavar="JSON",
+                   help="submit: runner params as a JSON object")
+    p.add_argument("--golden-config", action="store_true",
+                   dest="golden_config",
+                   help="submit: start from the figure's pinned "
+                        "golden-config params")
+    p.add_argument("--priority", type=int, default=0,
+                   help="submit: higher runs earlier (ties are FIFO)")
+    p.add_argument("--job", default=None, metavar="JOB_ID",
+                   help="status/watch/collect: the job to query")
+    p.add_argument("--from-seq", type=int, default=0, dest="from_seq",
+                   help="watch: replay events after this sequence "
+                        "number")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="watch/collect: give up after this many "
+                        "seconds")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="collect: also write the full result record "
+                        "JSON here")
+    p.add_argument("--verify-golden", action="store_true",
+                   dest="verify_golden",
+                   help="collect: exit 1 unless the result was "
+                        "golden-gated and published")
     p.add_argument("--csv", action="store_true",
                    help="emit CSV instead of an aligned table")
     p.add_argument("--plot", action="store_true",

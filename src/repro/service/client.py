@@ -1,0 +1,194 @@
+"""Clients: the TCP protocol speaker and the socket-free inline mode.
+
+:class:`ServiceClient` talks to a running daemon over the JSON-lines
+protocol — one short-lived connection per call, so clients need no
+connection management and a daemon restart between calls is invisible
+(state lives in the daemon's state dir, not the socket).
+
+:class:`InlineClient` is the hermetic fallback the unit tests and the
+socket-free CLI mode use: ``submit`` spins up an
+:class:`~repro.service.daemon.ExperimentService` on the state dir,
+runs the queue to empty in-process, and closes it; ``status`` /
+``watch`` / ``collect`` read the persisted event logs and result store
+directly.  Both clients expose the same five calls, so
+:mod:`repro.api` and the CLI switch on an endpoint string and nothing
+else.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Iterator, Optional
+
+from repro.service.protocol import ServiceError, decode, encode
+
+__all__ = ["ServiceClient", "InlineClient", "parse_endpoint"]
+
+
+def parse_endpoint(endpoint: str) -> "tuple[str, int]":
+    """``"host:port"`` → ``(host, port)``; bare port means localhost."""
+    host, _, port = endpoint.rpartition(":")
+    try:
+        return (host or "127.0.0.1", int(port))
+    except ValueError as err:
+        raise ServiceError(
+            f"endpoint must be host:port, got {endpoint!r}"
+        ) from err
+
+
+class ServiceClient:
+    """Speak the wire protocol to a daemon at ``host:port``."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7351,
+                 timeout: Optional[float] = 30.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+
+    def _connect(self) -> socket.socket:
+        try:
+            return socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        except OSError as err:
+            raise ServiceError(
+                f"cannot reach service at {self.host}:{self.port}: "
+                f"{err}"
+            ) from err
+
+    def _request(self, msg: Dict[str, Any]) -> Dict[str, Any]:
+        with self._connect() as sock:
+            sock.sendall(encode(msg))
+            with sock.makefile("r", encoding="utf-8") as fh:
+                line = fh.readline()
+        if not line:
+            raise ServiceError("service closed the connection")
+        return _checked(decode(line))
+
+    # -- the five calls --------------------------------------------------
+    def submit(self, exp_id: str,
+               params: Optional[Dict[str, Any]] = None,
+               priority: int = 0) -> Dict[str, Any]:
+        response = self._request({
+            "op": "submit",
+            "spec": {"exp_id": exp_id, "params": dict(params or {})},
+            "priority": int(priority),
+        })
+        return {**response["job"], "attached": response["attached"]}
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request({"op": "status", "job_id": job_id})["job"]
+
+    def watch(self, job_id: str, from_seq: int = 0,
+              timeout: Optional[float] = None
+              ) -> Iterator[Dict[str, Any]]:
+        """Stream a job's events until it reaches a terminal state."""
+        with self._connect() as sock:
+            if timeout is not None:
+                sock.settimeout(max(timeout, self.timeout or 0))
+            sock.sendall(encode({
+                "op": "watch", "job_id": job_id,
+                "from_seq": int(from_seq), "timeout": timeout,
+            }))
+            with sock.makefile("r", encoding="utf-8") as fh:
+                for line in fh:
+                    response = _checked(decode(line))
+                    if response.get("done"):
+                        return
+                    yield response["event"]
+
+    def collect(self, job_id: str,
+                timeout: Optional[float] = None) -> Dict[str, Any]:
+        return self._request({
+            "op": "collect", "job_id": job_id, "timeout": timeout,
+        })["record"]
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request({"op": "stats"})["stats"]
+
+    def shutdown(self, drain: bool = True) -> Dict[str, Any]:
+        return self._request({"op": "shutdown", "drain": bool(drain)})
+
+
+def _checked(response: Dict[str, Any]) -> Dict[str, Any]:
+    if not response.get("ok"):
+        raise ServiceError(response.get("error", "service error"))
+    return response
+
+
+class InlineClient:
+    """The same five calls without a socket: run in-process, read the
+    state dir.  ``submit`` is synchronous — the job (and anything else
+    queued in the state dir) has finished by the time it returns."""
+
+    def __init__(self, state_dir: str, goldens_dir: str = "goldens",
+                 exec_workers: int = 1) -> None:
+        self.state_dir = str(state_dir)
+        self.goldens_dir = str(goldens_dir)
+        self.exec_workers = int(exec_workers)
+
+    def _service(self) -> "ExperimentService":
+        from repro.service.daemon import ExperimentService
+
+        return ExperimentService(
+            self.state_dir, goldens_dir=self.goldens_dir,
+            exec_workers=self.exec_workers,
+        )
+
+    def submit(self, exp_id: str,
+               params: Optional[Dict[str, Any]] = None,
+               priority: int = 0) -> Dict[str, Any]:
+        service = self._service()
+        try:
+            job = service.submit(exp_id, params=params,
+                                 priority=priority)
+            service.run_pending()
+            return service.status(job["job_id"]) | {
+                "attached": job["attached"]
+            }
+        finally:
+            service.close(drain=True)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        from repro.service.daemon import load_status
+
+        status = load_status(self.state_dir, job_id)
+        if status is None:
+            raise ServiceError(f"unknown job {job_id!r}")
+        return status
+
+    def watch(self, job_id: str, from_seq: int = 0,
+              timeout: Optional[float] = None
+              ) -> Iterator[Dict[str, Any]]:
+        from repro.service.daemon import load_events
+
+        events = load_events(self.state_dir, job_id)
+        if not events:
+            raise ServiceError(f"unknown job {job_id!r}")
+        for event in events:
+            if event.get("seq", 0) > from_seq:
+                yield event
+
+    def collect(self, job_id: str,
+                timeout: Optional[float] = None) -> Dict[str, Any]:
+        import os
+
+        from repro.service.store import ResultStore
+
+        record = ResultStore(
+            os.path.join(self.state_dir, "store")
+        ).get_by_job(job_id)
+        if record is None:
+            status = self.status(job_id)
+            raise ServiceError(
+                f"job {job_id!r} has no stored result "
+                f"(state: {status['state']})"
+            )
+        return record
+
+    def stats(self) -> Dict[str, Any]:
+        service = self._service()
+        try:
+            return service.stats()
+        finally:
+            service.close(drain=True)

@@ -1,0 +1,549 @@
+"""The experiment service: one warm executor shared by many clients.
+
+:class:`ExperimentService` is the long-running core behind ``repro
+serve``: it accepts :class:`repro.api.ExperimentSpec` submissions,
+orders them through a priority :class:`~repro.service.queue.JobQueue`,
+runs each through the PR-2 cached executor (one shared cache directory,
+so every client warms every other client's figures), and lands results
+in the golden-gated :class:`~repro.service.store.ResultStore`.
+
+Three properties the tests pin:
+
+* **Coalescing** — a submission whose content hash matches a queued or
+  running job *attaches* to it instead of racing it: the second client
+  gets the same job id, the ``service.jobs.coalesced`` counter ticks,
+  and exactly one executor invocation happens no matter how many
+  clients asked (``submit`` holds one lock across the
+  lookup-then-enqueue, so two truly concurrent identical submissions
+  cannot both miss).
+* **Progress streaming** — every job carries an append-only event log
+  (``queued`` → ``started`` → ``progress``\\* → ``finished`` /
+  ``failed``) with strictly increasing sequence numbers.  ``progress``
+  events sample the live :mod:`repro.obs` series: simulation clock
+  (``sim.engine.clock``), points done (``exec.points``), cache traffic
+  (``exec.cache.hits``/``misses``) and queue depth.  Events write
+  through to ``<state_dir>/events/<job_id>.jsonl`` so a restarted
+  daemon (or the socket-free inline CLI) can replay them.
+* **Graceful shutdown** — ``close(drain=True)`` finishes every queued
+  job first; ``close(drain=False)`` persists still-queued jobs to
+  ``<state_dir>/pending.jsonl`` and the next service constructed on the
+  same state dir re-enqueues them (``service.jobs.resumed``).
+
+The service is fully usable in-process — no sockets — which is how the
+tier-1 unit tests and the ``--state-dir`` CLI mode drive it; the TCP
+face lives in :mod:`repro.service.server`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs import registry as obsreg
+from repro.service.protocol import ServiceError
+from repro.service.queue import (
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    SUSPENDED,
+    TERMINAL_STATES,
+    Job,
+    JobQueue,
+)
+from repro.service.store import ResultStore, gate_result
+
+__all__ = ["ExperimentService", "EventLog", "load_status", "load_events"]
+
+_TERMINAL_KINDS = ("finished", "failed")
+
+
+class EventLog:
+    """Append-only per-job event log with write-through persistence.
+
+    Sequence numbers are strictly increasing and survive restarts (a
+    reloaded log continues from its last persisted seq).  Appends
+    notify waiting watchers through the shared condition.
+    """
+
+    def __init__(self, path: str, cond: threading.Condition) -> None:
+        self.path = path
+        self._cond = cond
+        self.events: List[Dict[str, Any]] = _read_jsonl(path)
+        self._seq = max(
+            (e.get("seq", 0) for e in self.events), default=0
+        )
+
+    def append(self, job: Job, kind: str, **fields: Any) -> None:
+        with self._cond:
+            self._seq += 1
+            event = {
+                "seq": self._seq,
+                "ts": time.time(),
+                "job_id": job.job_id,
+                "kind": kind,
+                "state": job.state,
+                **fields,
+            }
+            self.events.append(event)
+            os.makedirs(os.path.dirname(self.path), exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write(json.dumps(event, sort_keys=True) + "\n")
+            self._cond.notify_all()
+
+    def since(self, seq: int) -> List[Dict[str, Any]]:
+        with self._cond:
+            return [e for e in self.events if e["seq"] > seq]
+
+
+def _read_jsonl(path: str) -> List[Dict[str, Any]]:
+    out: List[Dict[str, Any]] = []
+    try:
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(entry, dict):
+                    out.append(entry)
+    except OSError:
+        pass
+    return out
+
+
+def load_events(state_dir: str, job_id: str) -> List[Dict[str, Any]]:
+    """Persisted events for a job (the socket-free inline read path)."""
+    return _read_jsonl(os.path.join(state_dir, "events",
+                                    f"{job_id}.jsonl"))
+
+
+def load_status(state_dir: str, job_id: str) -> Optional[Dict[str, Any]]:
+    """Best-effort status for a job no live service knows about,
+    reconstructed from its persisted event log and the result store."""
+    events = load_events(state_dir, job_id)
+    if not events:
+        return None
+    last = events[-1]
+    status = {
+        "job_id": job_id,
+        "exp_id": last.get("exp_id") or events[0].get("exp_id"),
+        "state": last.get("state", "unknown"),
+        "published": last.get("published"),
+        "error": last.get("error", ""),
+        "events": len(events),
+    }
+    record = ResultStore(os.path.join(state_dir, "store")).get_by_job(
+        job_id
+    )
+    if record is not None:
+        status["published"] = record.get("published")
+        status["key"] = record.get("key")
+    return status
+
+
+class ExperimentService:
+    """Job queue + shared warm executor + golden-gated result store.
+
+    Parameters
+    ----------
+    state_dir:
+        Root for everything durable: the shared result cache
+        (``cache/``), the published store (``store/``), per-job event
+        logs (``events/``) and the shutdown journal
+        (``pending.jsonl``).
+    goldens_dir:
+        Where the publication gate looks for committed snapshots.
+    exec_workers:
+        Process-pool width handed to each job's executor.
+    poll_interval:
+        Sampling period of the progress streamer.
+    """
+
+    def __init__(
+        self,
+        state_dir: str,
+        goldens_dir: str = "goldens",
+        exec_workers: int = 1,
+        poll_interval: float = 0.05,
+    ) -> None:
+        self.state_dir = str(state_dir)
+        self.goldens_dir = str(goldens_dir)
+        self.exec_workers = max(1, int(exec_workers))
+        self.poll_interval = float(poll_interval)
+        self.cache_dir = os.path.join(self.state_dir, "cache")
+        os.makedirs(self.cache_dir, exist_ok=True)
+        self.store = ResultStore(os.path.join(self.state_dir, "store"))
+        self.queue = JobQueue()
+        self._jobs: Dict[str, Job] = {}
+        self._logs: Dict[str, EventLog] = {}
+        # reentrant: submit/persist/resume hold the lock while their
+        # EventLog appends re-acquire it
+        self._cond = threading.Condition(threading.RLock())
+        self._current: Optional[Job] = None
+        self._worker: Optional[threading.Thread] = None
+        self._sampler: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._closed = False
+        # the service owns a live registry when nobody else installed
+        # one, so progress sampling always has series to read
+        self._own_obs = obsreg.active() is None
+        if self._own_obs:
+            obsreg.enable()
+        self._m_submitted = obsreg.counter("service.jobs.submitted")
+        self._m_coalesced = obsreg.counter("service.jobs.coalesced")
+        self._m_executed = obsreg.counter("service.jobs.executed")
+        self._m_completed = obsreg.counter("service.jobs.completed")
+        self._m_failed = obsreg.counter("service.jobs.failed")
+        self._m_resumed = obsreg.counter("service.jobs.resumed")
+        self._m_depth = obsreg.gauge("service.queue.depth")
+        self._resume_pending()
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> None:
+        """Boot the worker and progress-sampler threads (daemon mode;
+        tests and the inline CLI use :meth:`run_pending` instead)."""
+        if self._worker is not None:
+            return
+        self._stop.clear()
+        self._worker = threading.Thread(
+            target=self._worker_loop, name="service-worker", daemon=True
+        )
+        self._sampler = threading.Thread(
+            target=self._sampler_loop, name="service-sampler",
+            daemon=True,
+        )
+        self._worker.start()
+        self._sampler.start()
+
+    def close(self, drain: bool = True,
+              timeout: Optional[float] = None) -> None:
+        """Shut down: ``drain=True`` finishes queued work first,
+        ``drain=False`` persists it for the next daemon to resume."""
+        if self._closed:
+            return
+        if drain:
+            self.drain(timeout=timeout)
+        self._stop.set()
+        self.queue.close()
+        if self._worker is not None:
+            self._worker.join(timeout=timeout)
+            self._sampler.join(timeout=timeout)
+            self._worker = None
+            self._sampler = None
+        if not drain:
+            self._persist_pending()
+        self._closed = True
+        if self._own_obs:
+            obsreg.disable()
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Block until the queue is empty and no job is running; with
+        no worker thread, run the queued jobs in this thread."""
+        if self._worker is None:
+            self.run_pending()
+            return
+        deadline = None if timeout is None else time.time() + timeout
+        with self._cond:
+            while self.queue.depth() or self._current is not None:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.time()
+                    if remaining <= 0:
+                        raise ServiceError(
+                            "drain timed out with work outstanding"
+                        )
+                self._cond.wait(timeout=remaining)
+
+    def run_pending(self) -> int:
+        """Process queued jobs synchronously in the calling thread
+        (priority order); returns the number of jobs run.  This is the
+        hermetic in-process mode: no worker thread, no sockets."""
+        ran = 0
+        while True:
+            job = self.queue.pop(timeout=0)
+            if job is None:
+                return ran
+            self._m_depth.set(self.queue.depth())
+            self._run_one(job)
+            ran += 1
+
+    # -- submission ------------------------------------------------------
+    def submit(self, exp_id: str, params: Optional[Dict[str, Any]] = None,
+               priority: int = 0) -> Dict[str, Any]:
+        """Accept one submission; returns the job status plus an
+        ``attached`` flag.  Identical in-flight submissions coalesce:
+        the lock spans the dedup lookup *and* the enqueue, so two
+        concurrent identical specs always yield one job."""
+        if self._closed:
+            raise ServiceError("service is closed")
+        job = Job(exp_id=exp_id, params=dict(params or {}),
+                  priority=int(priority))
+        with self._cond:
+            if job.key is not None:
+                for live in self._jobs.values():
+                    if (
+                        live.key == job.key
+                        and live.state in (QUEUED, RUNNING)
+                    ):
+                        live.subscribers += 1
+                        self._m_coalesced.inc()
+                        self._log(live).append(
+                            live, "attached",
+                            subscribers=live.subscribers,
+                        )
+                        return {**live.status(), "attached": True}
+            self._jobs[job.job_id] = job
+            self._log(job).append(
+                job, "queued", exp_id=job.exp_id,
+                priority=job.priority,
+            )
+            self._m_submitted.inc()
+        self.queue.push(job)
+        self._m_depth.set(self.queue.depth())
+        return {**job.status(), "attached": False}
+
+    # -- queries ---------------------------------------------------------
+    def status(self, job_id: str) -> Dict[str, Any]:
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is not None:
+                return job.status()
+        disk = load_status(self.state_dir, job_id)
+        if disk is None:
+            raise ServiceError(f"unknown job {job_id!r}")
+        return disk
+
+    def events(
+        self,
+        job_id: str,
+        from_seq: int = 0,
+        follow: bool = True,
+        timeout: Optional[float] = None,
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield a job's events in order, optionally following the live
+        log until a terminal event arrives."""
+        log = self._log_for_query(job_id)
+        seq = int(from_seq)
+        deadline = None if timeout is None else time.time() + timeout
+        while True:
+            batch = log.since(seq)
+            for event in batch:
+                seq = event["seq"]
+                yield event
+                if event["kind"] in _TERMINAL_KINDS:
+                    return
+            if not follow:
+                return
+            with self._cond:
+                if not log.since(seq):
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - time.time()
+                        if remaining <= 0:
+                            raise ServiceError(
+                                f"watch timed out on job {job_id!r}"
+                            )
+                    self._cond.wait(timeout=remaining or 0.5)
+
+    def collect(self, job_id: str,
+                timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Block until the job is terminal, then return its store
+        record; a failed job or an unknown id raises, a gate-refused
+        result comes back with ``published: false`` and the diffs."""
+        deadline = None if timeout is None else time.time() + timeout
+        with self._cond:
+            job = self._jobs.get(job_id)
+            while job is not None and job.state not in TERMINAL_STATES:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.time()
+                    if remaining <= 0:
+                        raise ServiceError(
+                            f"collect timed out on job {job_id!r}"
+                        )
+                self._cond.wait(timeout=remaining)
+            if job is not None and job.state == FAILED:
+                raise ServiceError(
+                    f"job {job_id!r} failed: {job.error}"
+                )
+        record = self.store.get_by_job(job_id)
+        if record is None:
+            status = load_status(self.state_dir, job_id)
+            if status is None:
+                raise ServiceError(f"unknown job {job_id!r}")
+            raise ServiceError(
+                f"job {job_id!r} has no stored result "
+                f"(state: {status['state']})"
+            )
+        return record
+
+    def stats(self) -> Dict[str, Any]:
+        from repro.exec import ResultCache
+
+        with self._cond:
+            states: Dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+        return {
+            "state_dir": self.state_dir,
+            "queue_depth": self.queue.depth(),
+            "jobs": states,
+            "store": self.store.stats(),
+            "cache": ResultCache(self.cache_dir).stats(),
+        }
+
+    # -- internals -------------------------------------------------------
+    def _log(self, job: Job) -> EventLog:
+        log = self._logs.get(job.job_id)
+        if log is None:
+            log = EventLog(
+                os.path.join(self.state_dir, "events",
+                             f"{job.job_id}.jsonl"),
+                self._cond,
+            )
+            self._logs[job.job_id] = log
+        return log
+
+    def _log_for_query(self, job_id: str) -> EventLog:
+        with self._cond:
+            log = self._logs.get(job_id)
+            if log is not None:
+                return log
+        path = os.path.join(self.state_dir, "events",
+                            f"{job_id}.jsonl")
+        if not os.path.exists(path):
+            raise ServiceError(f"unknown job {job_id!r}")
+        log = EventLog(path, self._cond)
+        with self._cond:
+            self._logs.setdefault(job_id, log)
+        return log
+
+    def _progress_fields(self) -> Dict[str, Any]:
+        reg = obsreg.active()
+        if reg is None:  # pragma: no cover - service always has one
+            return {}
+        clock = reg.get("sim.engine.clock")
+        return {
+            "sim_clock": 0.0 if clock is None else clock.max,
+            "points_done": reg.total("exec.points"),
+            "cache_hits": reg.total("exec.cache.hits"),
+            "cache_misses": reg.total("exec.cache.misses"),
+            "queue_depth": self.queue.depth(),
+        }
+
+    def _run_one(self, job: Job) -> None:
+        import repro.api as api
+
+        with self._cond:
+            job.state = RUNNING
+            job.started_at = time.time()
+            self._current = job
+        log = self._log(job)
+        log.append(job, "started", exp_id=job.exp_id)
+        self._m_executed.inc()
+        try:
+            table = api.run_figure(
+                spec=api.ExperimentSpec(job.exp_id, job.params),
+                options=api.RunOptions(
+                    workers=self.exec_workers,
+                    cache_dir=self.cache_dir,
+                ),
+            )
+        except Exception as err:  # noqa: BLE001 - jobs must not kill the daemon
+            with self._cond:
+                job.state = FAILED
+                job.error = f"{type(err).__name__}: {err}"
+                job.finished_at = time.time()
+                self._current = None
+            self._m_failed.inc()
+            log.append(job, "failed", error=job.error)
+            with self._cond:
+                self._cond.notify_all()
+            return
+        log.append(job, "progress", **self._progress_fields())
+        golden = gate_result(job.exp_id, job.params, table,
+                             goldens_dir=self.goldens_dir)
+        record = self.store.put(
+            job.key or job.job_id, job.exp_id, job.params, table,
+            job.job_id, golden,
+        )
+        with self._cond:
+            job.state = DONE
+            job.published = record["published"]
+            job.finished_at = time.time()
+            self._current = None
+        self._m_completed.inc()
+        log.append(
+            job, "finished",
+            published=record["published"],
+            gated=golden["checked"],
+            key=record["key"],
+        )
+        with self._cond:
+            self._cond.notify_all()
+
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            job = self.queue.pop(timeout=0.2)
+            if job is None:
+                continue
+            self._m_depth.set(self.queue.depth())
+            self._run_one(job)
+
+    def _sampler_loop(self) -> None:
+        while not self._stop.is_set():
+            job = self._current
+            if job is not None and job.state == RUNNING:
+                log = self._logs.get(job.job_id)
+                if log is not None:
+                    with self._cond:
+                        live = job.state == RUNNING
+                    if live:
+                        log.append(job, "progress",
+                                   **self._progress_fields())
+            time.sleep(self.poll_interval)
+
+    # -- suspend / resume ------------------------------------------------
+    def _pending_path(self) -> str:
+        return os.path.join(self.state_dir, "pending.jsonl")
+
+    def _persist_pending(self) -> int:
+        """Journal still-queued jobs for the next daemon to resume."""
+        jobs = self.queue.drain_pending()
+        if not jobs:
+            return 0
+        with open(self._pending_path(), "w", encoding="utf-8") as fh:
+            for job in jobs:
+                with self._cond:
+                    job.state = SUSPENDED
+                self._log(job).append(job, "suspended")
+                fh.write(json.dumps(job.to_persist(), sort_keys=True)
+                         + "\n")
+        return len(jobs)
+
+    def _resume_pending(self) -> int:
+        entries = _read_jsonl(self._pending_path())
+        if not entries:
+            return 0
+        for entry in entries:
+            try:
+                job = Job.from_persist(entry)
+            except (KeyError, ValueError, TypeError):
+                continue
+            with self._cond:
+                self._jobs[job.job_id] = job
+                self._log(job).append(job, "resumed",
+                                      exp_id=job.exp_id,
+                                      priority=job.priority)
+            self.queue.push(job)
+            self._m_resumed.inc()
+        self._m_depth.set(self.queue.depth())
+        os.remove(self._pending_path())
+        return len(entries)

@@ -1,0 +1,95 @@
+"""The wire protocol: newline-delimited JSON over a local TCP socket.
+
+One request line per connection, one response line back — except
+``watch``, which streams one line per progress event and finishes with
+a ``{"done": true}`` line.  Every message is a JSON object; requests
+carry an ``op`` plus op-specific fields, responses carry ``ok`` and
+either result fields or an ``error`` string:
+
+``submit``
+    ``{"op": "submit", "spec": {"exp_id": ..., "params": {...}},
+    "priority": 0}`` → ``{"ok": true, "job": {...}, "attached": bool}``
+``status``
+    ``{"op": "status", "job_id": ...}`` → ``{"ok": true, "job": {...}}``
+``watch``
+    ``{"op": "watch", "job_id": ..., "from_seq": 0}`` → event lines
+    ``{"ok": true, "event": {...}}`` then ``{"ok": true, "done": true}``
+``collect``
+    ``{"op": "collect", "job_id": ..., "timeout": null}`` →
+    ``{"ok": true, "record": {...}}``
+``stats``
+    ``{"op": "stats"}`` → ``{"ok": true, "stats": {...}}``
+``shutdown``
+    ``{"op": "shutdown", "drain": true}`` → ``{"ok": true}``
+
+The protocol is versioned (:data:`PROTOCOL_VERSION`); the server stamps
+its version into every response so clients can refuse a mismatch.
+Failure semantics are documented in docs/service.md.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "OPS",
+    "ServiceError",
+    "encode",
+    "decode",
+    "read_message",
+    "ok_response",
+    "error_response",
+]
+
+PROTOCOL_VERSION = 1
+
+#: The operations the daemon accepts.
+OPS = ("submit", "status", "watch", "collect", "stats", "shutdown")
+
+
+class ServiceError(RuntimeError):
+    """A request the service refused (unknown job, unpublished result,
+    malformed message, protocol mismatch)."""
+
+
+def encode(msg: Mapping[str, Any]) -> bytes:
+    """One protocol line: compact JSON plus the terminating newline."""
+    return (
+        json.dumps(dict(msg), separators=(",", ":"), sort_keys=True)
+        + "\n"
+    ).encode("utf-8")
+
+
+def decode(line: Any) -> Dict[str, Any]:
+    """Parse one protocol line; raises :class:`ServiceError` on junk."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        msg = json.loads(line)
+    except ValueError as err:
+        raise ServiceError(f"malformed protocol line: {err}") from err
+    if not isinstance(msg, dict):
+        raise ServiceError("protocol messages must be JSON objects")
+    return msg
+
+
+def read_message(fh) -> Optional[Dict[str, Any]]:
+    """Next message from a line-buffered stream, ``None`` at EOF."""
+    line = fh.readline()
+    if not line:
+        return None
+    return decode(line)
+
+
+def ok_response(**fields: Any) -> Dict[str, Any]:
+    return {"ok": True, "protocol": PROTOCOL_VERSION, **fields}
+
+
+def error_response(message: str) -> Dict[str, Any]:
+    return {
+        "ok": False,
+        "protocol": PROTOCOL_VERSION,
+        "error": str(message),
+    }

@@ -1,0 +1,176 @@
+"""Jobs and the thread-safe priority queue the daemon drains.
+
+A :class:`Job` is one accepted :class:`repro.api.ExperimentSpec`
+submission: the experiment id and params, a client-chosen priority, and
+the content hash that identifies it in the executor's result cache
+(``cache_key("experiment.<exp_id>", params)`` — the *same* identity the
+PR-2 cache memoises figure tables under, so deduplication and warm
+cache hits agree by construction).
+
+The :class:`JobQueue` orders queued jobs by ``(-priority, arrival)``:
+higher priority runs first, ties run first-come-first-served.  It is a
+plain synchronised heap — in-flight deduplication lives in the daemon
+(:meth:`repro.service.daemon.ExperimentService.submit`), which scans
+its job table for a live job with the same content hash before
+enqueueing a new one.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+__all__ = [
+    "Job",
+    "JobQueue",
+    "job_key",
+    "QUEUED",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "SUSPENDED",
+    "TERMINAL_STATES",
+]
+
+#: Job lifecycle states.  ``SUSPENDED`` marks a queued job persisted to
+#: disk by a non-draining shutdown; a restarted daemon re-enqueues it.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+SUSPENDED = "suspended"
+
+TERMINAL_STATES = (DONE, FAILED)
+
+
+def job_key(exp_id: str, params: Mapping[str, Any]) -> Optional[str]:
+    """The exec cache's content hash for this submission, or ``None``
+    for params with no canonical form (such a job runs un-deduplicated,
+    mirroring the executor's uncacheable-point rule)."""
+    from repro.exec.cache import cache_key
+
+    try:
+        return cache_key(f"experiment.{exp_id}", params)
+    except TypeError:
+        return None
+
+
+def _new_job_id() -> str:
+    return uuid.uuid4().hex[:12]
+
+
+@dataclass
+class Job:
+    """One accepted submission and its lifecycle bookkeeping."""
+
+    exp_id: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    priority: int = 0
+    job_id: str = field(default_factory=_new_job_id)
+    key: Optional[str] = None
+    state: str = QUEUED
+    #: number of clients sharing this job (1 + coalesced submissions)
+    subscribers: int = 1
+    error: str = ""
+    published: Optional[bool] = None
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.exp_id:
+            raise ValueError("exp_id must be non-empty")
+        self.params = dict(self.params)
+        if self.key is None:
+            self.key = job_key(self.exp_id, self.params)
+
+    def status(self) -> Dict[str, Any]:
+        """Plain-data snapshot for the protocol and the CLI."""
+        return {
+            "job_id": self.job_id,
+            "exp_id": self.exp_id,
+            "params": dict(self.params),
+            "priority": self.priority,
+            "key": self.key,
+            "state": self.state,
+            "subscribers": self.subscribers,
+            "error": self.error,
+            "published": self.published,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+
+    def to_persist(self) -> Dict[str, Any]:
+        """The fields a suspended job carries across a daemon restart."""
+        return {
+            "job_id": self.job_id,
+            "exp_id": self.exp_id,
+            "params": dict(self.params),
+            "priority": self.priority,
+            "subscribers": self.subscribers,
+            "submitted_at": self.submitted_at,
+        }
+
+    @classmethod
+    def from_persist(cls, data: Mapping[str, Any]) -> "Job":
+        return cls(
+            exp_id=data["exp_id"],
+            params=dict(data.get("params", {})),
+            priority=int(data.get("priority", 0)),
+            job_id=data["job_id"],
+            subscribers=int(data.get("subscribers", 1)),
+            submitted_at=float(data.get("submitted_at", 0.0)),
+        )
+
+
+class JobQueue:
+    """Thread-safe priority queue: higher priority first, FIFO ties."""
+
+    def __init__(self) -> None:
+        self._heap: List[Any] = []
+        self._arrival = itertools.count()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def push(self, job: Job) -> None:
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            heapq.heappush(
+                self._heap, (-job.priority, next(self._arrival), job)
+            )
+            self._cond.notify()
+
+    def pop(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Highest-priority job, blocking up to ``timeout`` seconds;
+        ``None`` on timeout or once the queue is closed and empty."""
+        with self._cond:
+            while not self._heap:
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout=timeout):
+                    return None
+            return heapq.heappop(self._heap)[2]
+
+    def drain_pending(self) -> List[Job]:
+        """Remove and return every queued job (persist-on-shutdown)."""
+        with self._cond:
+            jobs = [entry[2] for entry in sorted(self._heap)]
+            self._heap.clear()
+            return jobs
+
+    def depth(self) -> int:
+        with self._cond:
+            return len(self._heap)
+
+    def close(self) -> None:
+        """Wake blocked poppers; further pushes raise."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

@@ -1,0 +1,167 @@
+"""The daemon's TCP face: a threaded line-protocol server.
+
+One :class:`ServiceServer` wraps one
+:class:`~repro.service.daemon.ExperimentService` behind the JSON-lines
+protocol (:mod:`repro.service.protocol`) on a localhost socket.  Each
+connection is one request; ``watch`` holds its connection open and
+streams events until the job reaches a terminal state.  ``repro
+serve`` is the CLI face (docs/service.md); tests bind port 0 and use
+:meth:`ServiceServer.start` to serve from a daemon thread.
+
+Shutdown is graceful by construction: a ``shutdown`` request (or
+SIGTERM in ``repro serve``) stops accepting connections, then closes
+the service — draining the queue when asked, persisting still-queued
+jobs for resume otherwise.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from repro.service.daemon import ExperimentService
+from repro.service.protocol import (
+    ServiceError,
+    encode,
+    error_response,
+    ok_response,
+    read_message,
+)
+
+__all__ = ["ServiceServer"]
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        server: "_TCPServer" = self.server  # type: ignore[assignment]
+        service = server.service
+        try:
+            request = read_message(self.rfile)
+        except ServiceError as err:
+            self._send(error_response(str(err)))
+            return
+        if request is None:
+            return
+        try:
+            self._dispatch(server, service, request)
+        except ServiceError as err:
+            self._send(error_response(str(err)))
+        except BrokenPipeError:  # client went away mid-stream
+            pass
+
+    def _send(self, msg: Dict[str, Any]) -> None:
+        self.wfile.write(encode(msg))
+        self.wfile.flush()
+
+    def _dispatch(
+        self,
+        server: "_TCPServer",
+        service: ExperimentService,
+        request: Dict[str, Any],
+    ) -> None:
+        op = request.get("op")
+        if op == "submit":
+            spec = request.get("spec") or {}
+            exp_id = spec.get("exp_id")
+            if not exp_id:
+                raise ServiceError("submit needs spec.exp_id")
+            job = service.submit(
+                exp_id,
+                params=spec.get("params") or {},
+                priority=int(request.get("priority", 0)),
+            )
+            self._send(ok_response(job=job,
+                                   attached=job.pop("attached")))
+        elif op == "status":
+            job_id = _job_id(request)
+            self._send(ok_response(job=service.status(job_id)))
+        elif op == "watch":
+            job_id = _job_id(request)
+            for event in service.events(
+                job_id,
+                from_seq=int(request.get("from_seq", 0)),
+                follow=True,
+                timeout=request.get("timeout"),
+            ):
+                self._send(ok_response(event=event))
+            self._send(ok_response(done=True))
+        elif op == "collect":
+            job_id = _job_id(request)
+            record = service.collect(job_id,
+                                     timeout=request.get("timeout"))
+            self._send(ok_response(record=record))
+        elif op == "stats":
+            self._send(ok_response(stats=service.stats()))
+        elif op == "shutdown":
+            drain = bool(request.get("drain", True))
+            self._send(ok_response(draining=drain))
+            server.outer.stop(drain=drain)
+        else:
+            raise ServiceError(f"unknown op {op!r}")
+
+
+def _job_id(request: Dict[str, Any]) -> str:
+    job_id = request.get("job_id")
+    if not job_id:
+        raise ServiceError(f"{request.get('op')} needs job_id")
+    return str(job_id)
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int],
+                 service: ExperimentService,
+                 outer: "ServiceServer") -> None:
+        self.service = service
+        self.outer = outer
+        super().__init__(address, _Handler)
+
+
+class ServiceServer:
+    """Bind a service to ``host:port`` (port 0 = ephemeral)."""
+
+    def __init__(self, service: ExperimentService,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.service = service
+        self._tcp = _TCPServer((host, port), service, self)
+        self._thread: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) — read after construction to learn an
+        ephemeral port."""
+        return self._tcp.server_address[:2]
+
+    def start(self) -> "ServiceServer":
+        """Serve from a daemon thread (tests and embedded use)."""
+        self.service.start()
+        self._thread = threading.Thread(
+            target=self._tcp.serve_forever, name="service-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`stop` (blocking —
+        what ``repro serve`` runs)."""
+        self.service.start()
+        self._tcp.serve_forever()
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop accepting connections, then close the service (idempotent)."""
+        if self._stopping.is_set():
+            return
+        self._stopping.set()
+        # shutdown() blocks until serve_forever returns, so a handler
+        # thread calling stop() must do it from a helper thread
+        threading.Thread(target=self._tcp.shutdown,
+                         daemon=True).start()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._tcp.server_close()
+        self.service.close(drain=drain)

@@ -1,0 +1,161 @@
+"""The queryable result store, golden-gated before publication.
+
+Finished jobs land here as one JSON record per content hash — the same
+``experiment.<exp_id>`` identity the executor's result cache memoises
+figure tables under, so the store is a *published view* layered on the
+content-addressed cache: same key space, but a record only reaches
+``published: true`` after the golden gate has had its say.
+
+The gate (:func:`gate_result`) looks the submission's exact identity up
+in the committed golden snapshots (:class:`repro.golden.GoldenStore`):
+
+* a golden exists for (exp_id, params, version) → the freshly computed
+  table is compared cell-by-cell under the figure's tolerance policy
+  (:func:`repro.golden.policy_for`); a divergence **refuses
+  publication** — the record is stored with ``published: false`` and
+  the cell diffs, and ``collect`` reports the refusal instead of
+  handing out a result that contradicts the repo's pinned claims;
+* no golden for the identity → the result is published ungated
+  (``golden.checked: false``) — most ad-hoc sweeps have no pinned
+  snapshot and must not be held hostage to one.
+
+Records are written atomically (tmp + rename) with sorted keys, so a
+store directory uploaded as a CI artifact diffs cleanly run over run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.core.report import Table
+
+__all__ = ["ResultStore", "gate_result"]
+
+
+def gate_result(
+    exp_id: str,
+    params: Mapping[str, Any],
+    table: Table,
+    goldens_dir: str = "goldens",
+) -> Dict[str, Any]:
+    """Golden verdict for one finished job.
+
+    Returns ``{"checked": bool, "ok": bool, "published": bool,
+    "diffs": [str, ...]}``; ``published`` is the gate's decision.
+    """
+    from repro.golden import GoldenStore, compare_tables, policy_for
+
+    expected, _entry = GoldenStore(goldens_dir).load(exp_id, params)
+    if expected is None:
+        return {"checked": False, "ok": True, "published": True,
+                "diffs": []}
+    diffs = compare_tables(exp_id, expected, table,
+                           policy=policy_for(exp_id))
+    return {
+        "checked": True,
+        "ok": not diffs,
+        "published": not diffs,
+        "diffs": [d.describe() for d in diffs],
+    }
+
+
+class ResultStore:
+    """Directory of per-content-hash result records with queries."""
+
+    def __init__(self, root: str) -> None:
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, f"{key[:24]}.json")
+
+    # -- writes ----------------------------------------------------------
+    def put(
+        self,
+        key: str,
+        exp_id: str,
+        params: Mapping[str, Any],
+        table: Table,
+        job_id: str,
+        golden: Mapping[str, Any],
+    ) -> Dict[str, Any]:
+        """Land one finished job; re-submissions of the same identity
+        merge their job ids into the existing record."""
+        existing = self.get(key)
+        job_ids = list(existing.get("job_ids", [])) if existing else []
+        if job_id not in job_ids:
+            job_ids.append(job_id)
+        record = {
+            "key": key,
+            "exp_id": exp_id,
+            "params": {
+                k: list(v) if isinstance(v, tuple) else v
+                for k, v in sorted(dict(params).items())
+            },
+            "job_ids": job_ids,
+            "table": table.to_dict(),
+            "published": bool(golden.get("published", False)),
+            "golden": dict(golden),
+            "finished_at": time.time(),
+        }
+        path = self._path(key)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, indent=1, sort_keys=True))
+            fh.write("\n")
+        os.replace(tmp, path)
+        return record
+
+    # -- queries ---------------------------------------------------------
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The record for a content hash, or ``None``; a corrupted file
+        reads as missing (the job can simply be re-run)."""
+        try:
+            with open(self._path(key), encoding="utf-8") as fh:
+                record = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        return record if isinstance(record, dict) else None
+
+    def get_by_job(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """The record a job id landed in (content hashes are shared by
+        coalesced and re-submitted jobs)."""
+        for record in self.records():
+            if job_id in record.get("job_ids", []):
+                return record
+        return None
+
+    def records(self) -> List[Dict[str, Any]]:
+        """Every parseable record, sorted by file name."""
+        out: List[Dict[str, Any]] = []
+        if not os.path.isdir(self.root):
+            return out
+        for name in sorted(os.listdir(self.root)):
+            if not name.endswith(".json"):
+                continue
+            try:
+                with open(
+                    os.path.join(self.root, name), encoding="utf-8"
+                ) as fh:
+                    record = json.load(fh)
+            except (OSError, ValueError):
+                continue
+            if isinstance(record, dict) and "key" in record:
+                out.append(record)
+        return out
+
+    def stats(self) -> Dict[str, Any]:
+        records = self.records()
+        return {
+            "root": self.root,
+            "records": len(records),
+            "published": sum(1 for r in records if r.get("published")),
+            "gated": sum(
+                1
+                for r in records
+                if r.get("golden", {}).get("checked")
+            ),
+        }

@@ -83,6 +83,7 @@ class Engine:
         if self._obs_on:
             self._m_events = obsreg.counter("sim.engine.events")
             self._m_qdepth = obsreg.gauge("sim.engine.queue_depth")
+            self._m_clock = obsreg.gauge("sim.engine.clock")
 
     # -- time --------------------------------------------------------------
     @property
@@ -157,6 +158,9 @@ class Engine:
         if self._obs_on:
             self._m_events.inc()
             self._m_qdepth.set_max(len(self._queue) + 1)
+            # the live simulation clock: progress streams (repro.service)
+            # read the peak as "how far has simulated time advanced"
+            self._m_clock.set_max(t)
         event._process()
 
     def run(self, until: Optional[float] = None,

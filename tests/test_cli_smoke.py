@@ -36,9 +36,11 @@ TINY = {
 
 def test_smoke_table_covers_every_subcommand():
     """If a new subcommand appears it must get a smoke entry (bench,
-    cache and verify have dedicated tests below; list is trivial)."""
+    cache, verify and the service family have dedicated tests below;
+    list is trivial)."""
     assert sorted(cli.COMMANDS) == sorted(
-        [*TINY, "bench", "cache", "verify"])
+        [*TINY, "bench", "cache", "verify",
+         "serve", "submit", "status", "watch", "collect"])
 
 
 def test_bench_prints_performance_trajectory(tmp_path, capsys):
@@ -171,3 +173,68 @@ def test_verify_rejects_unknown_axis(tmp_path, capsys):
 def test_verify_record_and_compare_mutually_exclusive(tmp_path):
     assert cli.main(["verify", "--record", "--compare",
                      "--goldens", str(tmp_path)]) == 2
+
+
+# ------------------------------------------------------------ service ---
+# Inline (socket-free) mode: --state-dir with no --port runs the job
+# in-process and later subcommands read the persisted state dir, which
+# is exactly how the nightly workflow drives it.  docs/service.md.
+
+def _submit_tiny(tmp_path, capsys):
+    state = str(tmp_path / "svc")
+    assert cli.main([
+        "submit", "--exp", "fig4",
+        "--params", '{"seed": 1, "nodes": [2]}',
+        "--state-dir", state,
+    ]) == 0
+    job_id = capsys.readouterr().out.strip()
+    assert job_id  # bare id on stdout so shells can capture it
+    return state, job_id
+
+
+def test_submit_then_status_inline(tmp_path, capsys):
+    state, job_id = _submit_tiny(tmp_path, capsys)
+    assert cli.main(["status", "--job", job_id,
+                     "--state-dir", state]) == 0
+    status = json.loads(capsys.readouterr().out)
+    assert status["state"] == "done"
+    assert status["published"] is True
+
+
+def test_watch_streams_event_lines_inline(tmp_path, capsys):
+    state, job_id = _submit_tiny(tmp_path, capsys)
+    assert cli.main(["watch", "--job", job_id,
+                     "--state-dir", state]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    events = [json.loads(line) for line in lines]
+    assert len(events) >= 3
+    assert events[0]["kind"] == "queued"
+    assert events[-1]["kind"] == "finished"
+
+
+def test_collect_renders_table_inline(tmp_path, capsys):
+    state, job_id = _submit_tiny(tmp_path, capsys)
+    out_path = tmp_path / "record.json"
+    assert cli.main(["collect", "--job", job_id, "--state-dir", state,
+                     "--out", str(out_path)]) == 0
+    assert "nodes" in capsys.readouterr().out
+    record = json.loads(out_path.read_text())
+    assert record["published"] is True
+    assert job_id in record["job_ids"]
+
+
+def test_submit_requires_exp(capsys):
+    assert cli.main(["submit"]) == 2
+    assert "--exp" in capsys.readouterr().err
+
+
+def test_status_unknown_job_exits_one(tmp_path, capsys):
+    assert cli.main(["status", "--job", "nope",
+                     "--state-dir", str(tmp_path / "svc")]) == 1
+    assert "unknown job" in capsys.readouterr().err
+
+
+def test_submit_rejects_unknown_golden_config(tmp_path, capsys):
+    assert cli.main(["submit", "--exp", "chase", "--golden-config",
+                     "--state-dir", str(tmp_path / "svc")]) == 2
+    assert "no golden config" in capsys.readouterr().err
