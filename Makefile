@@ -16,8 +16,8 @@ FORMATTED = src/repro/golden src/repro/service \
             tests/test_service.py
 
 .PHONY: test test-all test-exec test-faults test-traffic test-agg \
-        test-service bench obs help lint verify golden-record ci \
-        scaleout skew agg serve
+        test-service test-tenancy bench obs help lint verify \
+        golden-record ci scaleout skew agg interference serve
 
 help:
 	@echo "make ci            - what CI runs: lint -> tier-1 tests -> golden gate"
@@ -29,10 +29,12 @@ help:
 	@echo "make test-traffic  - traffic models + statistical validation suite only"
 	@echo "make test-agg      - aggregation runtime suite only (docs/aggregation.md)"
 	@echo "make test-service  - experiment service suite only (docs/service.md)"
+	@echo "make test-tenancy  - multi-tenant co-scheduling + api 2.0 suites (docs/tenancy.md)"
 	@echo "make serve         - boot the experiment service daemon on :7351"
 	@echo "make skew          - fig_skew: GUPS vs destination skew (docs/traffic.md)"
 	@echo "make agg           - fig_agg: aggregated IB vs DV crossover sweep"
-	@echo "make verify        - golden compare + 4-axis determinism harness"
+	@echo "make interference  - fig_interference: co-tenant slowdown matrix (docs/tenancy.md)"
+	@echo "make verify        - golden compare + 7-axis determinism harness"
 	@echo "make golden-record - refresh goldens/ after an intentional figure change"
 	@echo "make bench         - perf regression benchmarks; updates BENCH_exec.json"
 	@echo "make scaleout      - 64-1024-node cluster projection (docs/scaling.md)"
@@ -79,6 +81,9 @@ test-agg:
 test-service:
 	$(PYTEST) -x -q tests/test_service.py tests/test_cli_smoke.py
 
+test-tenancy:
+	$(PYTEST) -x -q tests/test_tenancy.py tests/test_api_v2.py
+
 serve:
 	$(REPRO) serve --port 7351 --state-dir .repro-service
 
@@ -87,6 +92,9 @@ skew:
 
 agg:
 	$(REPRO) agg --nodes 8
+
+interference:
+	$(REPRO) interference
 
 bench:
 	$(PYTEST) -q -m slow benchmarks/test_perf_regression.py

@@ -329,6 +329,55 @@ def test_agg_sweep_crossover_and_message_reduction_guard(tmp_path):
     })
 
 
+def test_interference_matrix_isolation_guard(tmp_path):
+    """Nightly guard for the co-tenant interference matrix
+    (fig_interference, docs/tenancy.md): run the full 8-pair sweep on
+    both fabrics through a pooled cached executor, assert the parallel
+    run reproduces the serial rows bit-for-bit, and pin the finding —
+    the Data Vortex deflection fabric isolates co-tenants (every DV
+    slowdown inside a tight band around 1.0) while the oversubscribed
+    fat tree shows real contention (the irregular-victim /
+    regular-aggressor cells clear a 2% slowdown floor).  A regression
+    here means either the tenancy views started perturbing the shared
+    fabric (DV band breached) or the IB geometry stopped
+    oversubscribing the straddled leaf (fat-tree floor lost)."""
+    from repro.tenancy.experiments import DEFAULT_PAIRS, interference_table
+
+    t0 = time.perf_counter()
+    serial = interference_table(Executor(), pairs=DEFAULT_PAIRS)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    par = interference_table(
+        Executor(workers=2, cache_dir=str(tmp_path / "intf-cache")),
+        pairs=DEFAULT_PAIRS)
+    par_s = time.perf_counter() - t0
+
+    assert par.render() == serial.render()
+    rows = {(r[0], r[1]): r for r in serial.rows}
+    dv_slow = {k: r[4] for k, r in rows.items()}
+    mpi_slow = {k: r[7] for k, r in rows.items()}
+    for pair, s in dv_slow.items():
+        assert 0.99 <= s <= 1.02, (
+            f"DV stopped isolating co-tenants: {pair} slowdown {s:.4f} "
+            f"outside the [0.99, 1.02] band")
+    for pair in (("gups", "fft"), ("scan", "bfs")):
+        assert mpi_slow[pair] >= 1.02, (
+            f"fat-tree contention vanished: {pair} mpi slowdown "
+            f"{mpi_slow[pair]:.4f} under the 1.02 floor")
+    assert max(mpi_slow.values()) > max(dv_slow.values()), (
+        "the fat tree no longer interferes more than the DV switch")
+    _record("interference_matrix", {
+        "pairs": len(DEFAULT_PAIRS),
+        "serial_seconds": round(serial_s, 4),
+        "parallel_seconds": round(par_s, 4),
+        "dv_max_slowdown": round(max(dv_slow.values()), 5),
+        "mpi_max_slowdown": round(max(mpi_slow.values()), 4),
+        "mpi_gups_fft_slowdown": round(mpi_slow[("gups", "fft")], 4),
+        "mpi_scan_bfs_slowdown": round(mpi_slow[("scan", "bfs")], 4),
+    })
+
+
 def test_pdes_ab_speedup_at_4096_nodes():
     """The nightly A/B guard for the sharded PDES engine: one
     4096-node GUPS projection per execution mode (single-process

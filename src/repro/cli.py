@@ -17,10 +17,13 @@ Usage::
     python -m repro.cli faults --drops 0,0.02,0.05 --workloads gups
     python -m repro.cli skew --exponents 0,0.6,1.2,1.8 --nodes 4
     python -m repro.cli agg --nodes 8 --watermarks 64,1024,8192
+    python -m repro.cli interference --pairs gups:fft,bfs:scan
+    python -m repro.cli interference --tenants gups,fft,scan
     python -m repro.cli verify --compare             # golden gate (CI)
     python -m repro.cli verify --record              # refresh goldens
     python -m repro.cli serve --port 7351            # experiment daemon
     python -m repro.cli submit --exp fig4 --golden-config --port 7351
+    python -m repro.cli submit --spec-file spec.json  # api 2.0 spec
     python -m repro.cli watch --job JOB --port 7351  # stream progress
     python -m repro.cli collect --job JOB --port 7351 --verify-golden
     python -m repro.cli list
@@ -215,12 +218,13 @@ def cmd_scaling(args) -> Table:
 
 def cmd_sweep(args) -> Table:
     import repro.api as api
+    params = {"fixed": {"seed": args.seed}}
+    if args.nodes:
+        params["axes"] = {"nodes": args.nodes}
     try:
-        return api.run_sweep(name=args.name,
-                             axes={"nodes": args.nodes}
-                             if args.nodes else None,
-                             fixed={"seed": args.seed},
-                             options=_options(args))
+        return api.run(spec=api.ExperimentSpec(
+            exp_id=f"sweep:{args.name}", params=params),
+            options=_options(args))
     except KeyError as err:
         print(f"sweep: {err.args[0]}", file=sys.stderr)
         raise SystemExit(2)
@@ -243,12 +247,13 @@ def cmd_scaleout(args) -> Table:
     full five-doubling grid takes tens of minutes serial — pass
     ``--workers``/``--cache``, or trim ``--nodes``/``--workloads``."""
     import repro.api as api
-    return api.run_scaleout(workloads=tuple(args.workloads),
-                            nodes=tuple(args.nodes),
-                            fabrics=tuple(args.fabrics),
-                            seed=args.seed, flow_impl=args.flow_impl,
-                            shards=args.shards,
-                            options=_options(args))
+    return api.run(spec=api.ExperimentSpec(
+        exp_id="fig_scaleout",
+        params=dict(workloads=tuple(args.workloads),
+                    nodes=tuple(args.nodes),
+                    fabrics=tuple(args.fabrics),
+                    seed=args.seed, flow_impl=args.flow_impl),
+        shards=args.shards), options=_options(args))
 
 
 def cmd_bench(args):
@@ -307,9 +312,12 @@ def cmd_skew(args) -> Table:
     destination distribution tightens from uniform through Zipf
     exponents to a hot-set extreme.  See docs/traffic.md."""
     import repro.api as api
-    return api.run_skew(nodes=min(args.nodes), seed=args.seed,
-                        exponents=args.exponents,
-                        options=_options(args))
+    params = dict(nodes=min(args.nodes), seed=args.seed)
+    if args.exponents is not None:
+        params["exponents"] = tuple(args.exponents)
+    return api.run(spec=api.ExperimentSpec(exp_id="fig_skew",
+                                           params=params),
+                   options=_options(args))
 
 
 def cmd_agg(args) -> Table:
@@ -318,11 +326,43 @@ def cmd_agg(args) -> Table:
     un-aggregated DV/IB baselines per skew level.  See
     docs/aggregation.md."""
     import repro.api as api
-    return api.run_agg(nodes=min(args.nodes), seed=args.seed,
-                       exponents=args.exponents,
-                       watermarks=args.watermarks,
-                       routing=args.routing,
-                       options=_options(args))
+    params = dict(nodes=min(args.nodes), seed=args.seed,
+                  routing=args.routing)
+    if args.exponents is not None:
+        params["exponents"] = tuple(args.exponents)
+    if args.watermarks is not None:
+        params["watermarks"] = tuple(args.watermarks)
+    return api.run(spec=api.ExperimentSpec(exp_id="fig_agg",
+                                           params=params),
+                   options=_options(args))
+
+
+def _pairs_list(text: str):
+    """``victim:aggressor,victim:aggressor`` → ordered pair tuples."""
+    pairs = []
+    for chunk in (c for c in text.split(",") if c):
+        v, sep, a = chunk.partition(":")
+        if not sep or not v or not a:
+            raise argparse.ArgumentTypeError(
+                f"pair {chunk!r} must be victim:aggressor")
+        pairs.append((v, a))
+    return pairs
+
+
+def cmd_interference(args) -> Table:
+    """Interference matrix (fig_interference): each (victim,
+    aggressor) workload pair co-scheduled on one partitioned cluster,
+    slowdown = co-scheduled elapsed over solo elapsed, per fabric.
+    ``--tenants w1,w2,...`` expands to every ordered pair; ``--pairs``
+    names them directly.  See docs/tenancy.md."""
+    import repro.api as api
+    params = dict(seed=args.seed, fabrics=tuple(args.fabrics),
+                  nodes_per_tenant=args.tenant_nodes)
+    if args.pairs is not None:
+        params["pairs"] = tuple(args.pairs)
+    spec = api.ExperimentSpec(exp_id="fig_interference", params=params,
+                              tenants=tuple(args.tenants or ()))
+    return api.run(spec=spec, options=_options(args))
 
 
 def cmd_verify(args) -> int:
@@ -433,29 +473,49 @@ def cmd_serve(args) -> int:
 
 def cmd_submit(args) -> int:
     """Submit one experiment; prints the job id (and nothing else, so
-    shells can capture it).  --golden-config merges the figure's
-    pinned golden params; --params adds/overrides JSON keyword
-    arguments for the experiment runner."""
+    shells can capture it).  --spec-file takes a unified api 2.0
+    ExperimentSpec JSON document (see docs/api.md); otherwise --exp
+    names the experiment, --golden-config merges the figure's pinned
+    golden params, and --params adds/overrides JSON keyword arguments
+    for the experiment runner."""
     import json
+    import repro.api as api
     from repro.service import ServiceError
-    if not args.exp:
-        print("submit: pass --exp EXPERIMENT_ID", file=sys.stderr)
-        return 2
-    params = {}
-    if args.golden_config:
-        from repro.golden import GOLDEN_CONFIGS
-        if args.exp not in GOLDEN_CONFIGS:
-            print(f"submit: no golden config for {args.exp!r}; known: "
-                  f"{', '.join(sorted(GOLDEN_CONFIGS))}",
-                  file=sys.stderr)
+    endpoint = f"{args.host}:{args.port}" if args.port else None
+    if args.spec_file:
+        if args.exp or args.params or args.golden_config:
+            print("submit: --spec-file already carries the experiment; "
+                  "drop --exp/--params/--golden-config", file=sys.stderr)
             return 2
-        params.update(GOLDEN_CONFIGS[args.exp])
-    if args.params:
-        params.update(json.loads(args.params))
+        with open(args.spec_file, encoding="utf-8") as fh:
+            data = json.load(fh)
+        try:
+            spec = api.spec_from_dict(data=data)
+        except (TypeError, ValueError) as err:
+            print(f"submit: bad spec file: {err}", file=sys.stderr)
+            return 2
+    else:
+        if not args.exp:
+            print("submit: pass --exp EXPERIMENT_ID or --spec-file "
+                  "SPEC.json", file=sys.stderr)
+            return 2
+        params = {}
+        if args.golden_config:
+            from repro.golden import GOLDEN_CONFIGS
+            if args.exp not in GOLDEN_CONFIGS:
+                print(f"submit: no golden config for {args.exp!r}; "
+                      f"known: {', '.join(sorted(GOLDEN_CONFIGS))}",
+                      file=sys.stderr)
+                return 2
+            params.update(GOLDEN_CONFIGS[args.exp])
+        if args.params:
+            params.update(json.loads(args.params))
+        spec = api.ExperimentSpec(exp_id=args.exp, params=params)
     try:
-        job = _svc_client(args).submit(args.exp, params=params,
-                                       priority=args.priority)
-    except ServiceError as err:
+        job = api.submit(spec=spec, priority=args.priority,
+                         endpoint=endpoint, state_dir=args.state_dir,
+                         goldens_dir=args.goldens)
+    except (ServiceError, ValueError, KeyError) as err:
         print(f"submit: {err}", file=sys.stderr)
         return 1
     print(job["job_id"])
@@ -569,6 +629,7 @@ COMMANDS = {
     "faults": cmd_faults,
     "skew": cmd_skew,
     "agg": cmd_agg,
+    "interference": cmd_interference,
     "verify": cmd_verify,
     "serve": cmd_serve,
     "submit": cmd_submit,
@@ -652,6 +713,24 @@ def build_parser() -> argparse.ArgumentParser:
                    default=None,
                    help="agg: comma-separated aggregation watermarks "
                         "(default 64,1024,8192)")
+    p.add_argument("--pairs", type=_pairs_list, default=None,
+                   help="interference: comma-separated victim:aggressor "
+                        "workload pairs (default: every irregular x "
+                        "regular combination)")
+    p.add_argument("--tenants",
+                   type=lambda s: [x for x in s.split(",") if x],
+                   default=None,
+                   help="interference: comma-separated workloads "
+                        "expanded to every ordered pair "
+                        "(overrides --pairs)")
+    p.add_argument("--tenant-nodes", type=int, default=4,
+                   dest="tenant_nodes",
+                   help="interference: ranks per tenant (cluster is "
+                        "2x this; default 4)")
+    p.add_argument("--spec-file", default=None, metavar="SPEC.json",
+                   dest="spec_file",
+                   help="submit: unified api 2.0 ExperimentSpec JSON "
+                        "document (replaces --exp/--params)")
     p.add_argument("--routing", choices=["direct", "tree"],
                    default="direct",
                    help="agg: software routing for coalesced frames "

@@ -154,6 +154,15 @@ def run_spmd(spec: ClusterSpec, program: Program, fabric: str = "dv",
         except pdes.ShardingFallback:
             pass
 
+    # Tenancy determinism axis: inside a tenancy.shadow_session() the
+    # whole run is routed through the co-scheduler as a single
+    # full-width identity tenant, which must be bit-identical to the
+    # serial body below (docs/tenancy.md).
+    from repro import tenancy
+    if tenancy.shadow_active():
+        from repro.tenancy.runner import run_solo_shadow
+        return run_solo_shadow(spec, program, fabric, max_events)
+
     engine = Engine()
     tracer = Tracer(enabled=spec.trace)
     n = spec.n_nodes

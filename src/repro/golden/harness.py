@@ -16,7 +16,11 @@ vs parallel pools, warm-cache equivalence, all-zero fault plans) into
   aggregation override: repeats and a two-shard run must agree with
   each other bit-for-bit (seeded flush ordering), though kernels that
   consult the override legitimately diverge from the un-aggregated
-  baseline
+  baseline,
+* ``tenancy`` — the figure inside a
+  :func:`repro.tenancy.shadow_session`: every ``run_spmd`` is routed
+  through the co-scheduler as one full-width identity tenant, which
+  must reproduce the untenanted path bit-for-bit (docs/tenancy.md)
 
 — and every axis must reproduce its baseline table **bit-identically**
 (exact policy, not the per-figure tolerance: these are same-process
@@ -81,13 +85,19 @@ GOLDEN_CONFIGS: Dict[str, Dict[str, Any]] = {
                 "exponents": (0.0, 1.2), "include_hotset": True,
                 "watermarks": (1, 64),
                 "table_words": 1 << 10, "n_updates": 1 << 8},
+    # a 4-pair slice of the interference matrix: pins the tenancy
+    # co-scheduler (partitioned fabrics, per-tenant barriers, the
+    # solo-baseline identity path) on both fabrics
+    "fig_interference": {"seed": GOLDEN_SEED,
+                         "pairs": (("gups", "fft"), ("fft", "gups"),
+                                   ("bfs", "scan"), ("scan", "bfs"))},
 }
 
-#: The six determinism axes, in report order.  ``agg`` is special: its
-#: candidates are compared against *each other*, not the shared
+#: The seven determinism axes, in report order.  ``agg`` is special:
+#: its candidates are compared against *each other*, not the shared
 #: baseline (see :func:`check_axis`).
 AXES: Tuple[str, ...] = ("workers", "cache", "obs", "faults", "shards",
-                         "agg")
+                         "agg", "tenancy")
 
 
 def _golden_point(fig: str, **params: Any) -> Table:
@@ -98,7 +108,7 @@ def _golden_point(fig: str, **params: Any) -> Table:
     the goldens pin exactly what the public surface computes.
     """
     import repro.api as api
-    return api.run_figure(exp_id=fig, **params)
+    return api.run(spec=api.ExperimentSpec(exp_id=fig, params=params))
 
 
 def _config_for(fig: str,
@@ -306,6 +316,17 @@ def _axis_agg(fig: str, params: Dict[str, Any]) -> List[Table]:
     return out
 
 
+def _axis_tenancy(fig: str, params: Dict[str, Any]) -> List[Table]:
+    """The figure inside a tenancy shadow session: every run_spmd in
+    the figure executes through the co-scheduler as a single full-width
+    identity tenant.  The contract is bit-identity with the untenanted
+    serial baseline — the partition views, per-tenant barriers, and
+    translated payloads must be invisible at full width."""
+    from repro import tenancy
+    with tenancy.shadow_session():
+        return [_golden_point(fig, **params)]
+
+
 def check_axis(fig: str, axis: str, baseline: Optional[Table] = None,
                cache_dir: Optional[str] = None,
                **overrides: Any) -> AxisReport:
@@ -330,6 +351,8 @@ def check_axis(fig: str, axis: str, baseline: Optional[Table] = None,
         candidates = _axis_obs(fig, params)
     elif axis == "shards":
         candidates = _axis_shards(fig, params)
+    elif axis == "tenancy":
+        candidates = _axis_tenancy(fig, params)
     elif axis == "agg":
         candidates = _axis_agg(fig, params)
         # aggregation may legitimately shift results away from the

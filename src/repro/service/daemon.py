@@ -449,7 +449,7 @@ class ExperimentService:
         log.append(job, "started", exp_id=job.exp_id)
         self._m_executed.inc()
         try:
-            table = api.run_figure(
+            table = api.run(
                 spec=api.ExperimentSpec(job.exp_id, job.params),
                 options=api.RunOptions(
                     workers=self.exec_workers,

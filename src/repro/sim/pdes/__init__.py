@@ -74,6 +74,15 @@ def session(shards: int):
     global _SESSION_SHARDS
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
+    if _SESSION_SHARDS:
+        # The override is a single process-wide slot: a nested session
+        # would silently reshard the outer scope's runs (the
+        # shared-state hazard the tenancy layer exposed).  There is no
+        # per-tenant variant — sharding partitions the whole engine —
+        # so nesting is an error, not a composition.
+        raise RuntimeError(
+            f"nested pdes.session: a {_SESSION_SHARDS}-shard session "
+            "is already active in this process")
     prev = _SESSION_SHARDS
     _SESSION_SHARDS = int(shards)
     try:

@@ -26,6 +26,8 @@ TINY = {
     "skew": ["--nodes", "2", "--exponents", "0,1.2"],
     "agg": ["--nodes", "2", "--exponents", "0", "--watermarks",
             "1,64"],
+    "interference": ["--pairs", "gups:fft", "--fabrics", "mpi",
+                     "--tenant-nodes", "4"],
     "sweep": ["--name", "barrier", "--nodes", "2"],
     "figures": ["--figs", "fig4"],
     "obs": ["--nodes", "2"],
@@ -226,6 +228,52 @@ def test_collect_renders_table_inline(tmp_path, capsys):
 def test_submit_requires_exp(capsys):
     assert cli.main(["submit"]) == 2
     assert "--exp" in capsys.readouterr().err
+
+
+def test_interference_tenants_expand_to_ordered_pairs(capsys):
+    assert cli.main(["interference", "--tenants", "gups,fft", "--csv",
+                     "--fabrics", "mpi"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert lines[0].startswith("victim,aggressor")
+    assert "mpi_slowdown" in lines[0]
+    # both ordered pairs of the two tenants, no self-pairs
+    pairs = {tuple(line.split(",")[:2]) for line in lines[1:]}
+    assert pairs == {("gups", "fft"), ("fft", "gups")}
+
+
+def test_submit_spec_file_inline(tmp_path, capsys):
+    """The api 2.0 wire format: a unified ExperimentSpec JSON document
+    through `repro submit --spec-file` in the socket-free mode."""
+    spec_file = tmp_path / "spec.json"
+    spec_file.write_text(json.dumps({
+        "exp_id": "fig4", "version": 2,
+        "params": {"seed": 1, "nodes": [2]},
+    }))
+    state = str(tmp_path / "svc")
+    assert cli.main(["submit", "--spec-file", str(spec_file),
+                     "--state-dir", state]) == 0
+    job_id = capsys.readouterr().out.strip()
+    assert job_id
+    assert cli.main(["status", "--job", job_id,
+                     "--state-dir", state]) == 0
+    assert json.loads(capsys.readouterr().out)["state"] == "done"
+
+
+def test_submit_spec_file_conflicts_with_exp(tmp_path, capsys):
+    spec_file = tmp_path / "spec.json"
+    spec_file.write_text(json.dumps({"exp_id": "fig4", "version": 2}))
+    assert cli.main(["submit", "--spec-file", str(spec_file),
+                     "--exp", "fig4"]) == 2
+    assert "--spec-file" in capsys.readouterr().err
+
+
+def test_submit_spec_file_rejects_bad_document(tmp_path, capsys):
+    spec_file = tmp_path / "spec.json"
+    spec_file.write_text(json.dumps({"exp_id": "fig4", "version": 2,
+                                     "bogus_field": 1}))
+    assert cli.main(["submit", "--spec-file", str(spec_file),
+                     "--state-dir", str(tmp_path / "svc")]) == 2
+    assert "bad spec file" in capsys.readouterr().err
 
 
 def test_status_unknown_job_exits_one(tmp_path, capsys):

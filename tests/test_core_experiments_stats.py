@@ -13,7 +13,8 @@ from repro.core.stats import replicate, summarize
 def test_registry_covers_every_figure():
     assert set(REGISTRY) == {"fig3a", "fig3b", "fig4", "fig5", "fig6a",
                              "fig6b", "fig7", "fig8", "fig9",
-                             "fig_scaleout", "fig_skew", "fig_agg"}
+                             "fig_scaleout", "fig_skew", "fig_agg",
+                             "fig_interference"}
 
 
 def test_registry_entries_complete():

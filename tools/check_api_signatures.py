@@ -1,17 +1,22 @@
 #!/usr/bin/env python
-"""Lint gate: the ``repro.api`` facade takes keyword-only arguments.
+"""Lint gate: the ``repro.api`` facade honours the 2.0 contract.
 
 Ruff has no rule for "public signatures must be keyword-only", so
 ``make lint`` runs this instead (see the per-file-ignores note in
 pyproject.toml).  The check is pure AST — no imports of the package —
-and fails if any public (non-underscore) module-level function or
-public method in ``src/repro/api.py`` accepts positional arguments
-beyond ``self``:
+and enforces four things on ``src/repro/api.py``:
 
-* no positional-only parameters (``def f(x, /)``);
-* no positional-or-keyword parameters (``def f(x)``) — everything
-  after ``self`` must sit behind a bare ``*`` or be ``**kwargs``;
-* ``*args`` is banned outright (it swallows positional calls).
+* **keyword-only**: no public (non-underscore) module-level function
+  or public method accepts positional arguments beyond ``self`` — no
+  positional-only params, no positional-or-keyword params, no
+  ``*args``;
+* **surface**: every name the 2.0 contract promises
+  (:data:`REQUIRED_SURFACE`) is defined;
+* **deprecation**: every 1.x shim (:data:`DEPRECATED`) contains a
+  ``warnings.warn(..., DeprecationWarning)`` call — old names must
+  keep working but must say so;
+* **version**: ``__api_version__`` has major version
+  :data:`EXPECTED_MAJOR`.
 
 Exit status 0 when clean, 1 with one line per offence otherwise.
 """
@@ -23,6 +28,41 @@ import pathlib
 import sys
 
 API_FILE = pathlib.Path(__file__).resolve().parents[1] / "src/repro/api.py"
+
+#: Names the api 2.0 contract promises (functions and classes).
+REQUIRED_SURFACE = {
+    "ExperimentSpec", "RunOptions", "GoldenVerdict",
+    "spec_to_dict", "spec_from_dict",
+    "build_cluster", "build_traffic",
+    "run", "submit", "run_figures", "verify_goldens",
+    "poll", "collect",
+}
+
+#: 1.x shims that must warn before delegating.
+DEPRECATED = {
+    "run_figure", "run_sweep", "run_scaleout", "run_skew", "run_agg",
+    "submit_experiment",
+}
+
+#: Required major version of ``__api_version__``.
+EXPECTED_MAJOR = 2
+
+
+def _warns_deprecation(fn: ast.FunctionDef) -> bool:
+    """True when the function body (or a helper it calls by the
+    conventional ``_deprecated`` name) issues a DeprecationWarning."""
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = node.func
+        if isinstance(callee, ast.Name) and callee.id == "_deprecated":
+            return True
+        if (isinstance(callee, ast.Attribute) and callee.attr == "warn"
+                and any(isinstance(a, ast.Name)
+                        and a.id == "DeprecationWarning"
+                        for a in node.args)):
+            return True
+    return False
 
 
 def _offences(tree: ast.Module, path: pathlib.Path) -> list[str]:
@@ -45,13 +85,41 @@ def _offences(tree: ast.Module, path: pathlib.Path) -> list[str]:
             out.append(f"{path}:{fn.lineno}: {name}: *{args.vararg.arg} "
                        f"is banned (accepts positional calls)")
 
+    defined = set()
+    version = None
     for node in tree.body:
         if isinstance(node, ast.FunctionDef):
+            defined.add(node.name)
             check(node)
+            if node.name in DEPRECATED and not _warns_deprecation(node):
+                out.append(
+                    f"{path}:{node.lineno}: {node.name}: deprecated "
+                    f"1.x shim must warnings.warn(..., "
+                    f"DeprecationWarning)")
         elif isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+            defined.add(node.name)
             for item in node.body:
                 if isinstance(item, ast.FunctionDef):
                     check(item, owner=f"{node.name}.")
+        elif isinstance(node, ast.Assign):
+            for tgt in node.targets:
+                if (isinstance(tgt, ast.Name)
+                        and tgt.id == "__api_version__"
+                        and isinstance(node.value, ast.Constant)):
+                    version = node.value.value
+
+    for name in sorted(REQUIRED_SURFACE - defined):
+        out.append(f"{path}:1: required api 2.0 name {name!r} is not "
+                   f"defined")
+    for name in sorted(DEPRECATED - defined):
+        out.append(f"{path}:1: deprecated 1.x name {name!r} must stay "
+                   f"defined (as a warning shim) until 3.0")
+    if version is None:
+        out.append(f"{path}:1: __api_version__ is not a literal "
+                   f"assignment")
+    elif int(str(version).split(".")[0]) != EXPECTED_MAJOR:
+        out.append(f"{path}:1: __api_version__ {version!r} must have "
+                   f"major version {EXPECTED_MAJOR}")
     return out
 
 
